@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRates(t *testing.T) {
+	got, err := parseRates("0, 0.01,0.5")
+	if err != nil || len(got) != 3 || got[1] != 0.01 {
+		t.Fatalf("parseRates = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "x", "-0.1", "1.0"} {
+		if _, err := parseRates(bad); err == nil {
+			t.Errorf("parseRates(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunSmallSweep(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-w", "16", "-h", "8", "-rates", "0,0.02",
+		"-rounds", "10", "-converge", "8", "-settle", "8",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "rate,crashed,joined") {
+		t.Fatal("missing header")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // comment + header + 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[2], "0.000,0,0,") {
+		t.Fatalf("zero-churn row unexpected: %s", lines[2])
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-rates", "2.0"}, &b); err == nil {
+		t.Fatal("bad rate accepted")
+	}
+	if err := run([]string{"-nope"}, &b); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmallScenario(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-w", "16", "-h", "8", "-fail-at", "8", "-reinject-at", "20", "-end", "30",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "round,live,homogeneity") {
+		t.Fatal("missing CSV header")
+	}
+	// 30 data rows plus header and comments.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") && !strings.HasPrefix(line, "round,") {
+			rows++
+		}
+	}
+	if rows != 30 {
+		t.Fatalf("CSV rows = %d, want 30", rows)
+	}
+	if !strings.Contains(out, "final reliability") {
+		t.Fatal("missing reliability footer")
+	}
+}
+
+func TestRunTManBaseline(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-tman", "-w", "16", "-h", "8", "-fail-at", "5", "-reinject-at", "10", "-end", "15",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "polystyrene=false") {
+		t.Fatal("baseline header missing")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-split", "bogus"}, &b); err == nil {
+		t.Fatal("bogus split accepted")
+	}
+	if err := run([]string{"-fail-at", "50", "-reinject-at", "10"}, &b); err == nil {
+		t.Fatal("inverted phases accepted")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}, &b); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

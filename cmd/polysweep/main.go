@@ -1,0 +1,85 @@
+// Command polysweep reproduces Fig. 10 of the paper: reshaping time as a
+// function of network size.
+//
+//	polysweep -mode size              # Fig. 10a — K ∈ {2,4,8}, SplitAdvanced
+//	polysweep -mode split             # Fig. 10b — Basic / MD / Advanced at K=4
+//	polysweep -mode size -max 51200   # full paper range (long run)
+//
+// Output is CSV: one row per (variant, size) with the mean reshaping time
+// and CI95 over the requested repetitions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"polystyrene/internal/core"
+	"polystyrene/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "polysweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("polysweep", flag.ContinueOnError)
+	var (
+		mode     = fs.String("mode", "size", "sweep mode: size (Fig. 10a) or split (Fig. 10b)")
+		maxNodes = fs.Int("max", 12800, "largest network size to include (paper: 51200)")
+		reps     = fs.Int("reps", 3, "repetitions per point (paper: 25)")
+		seed     = fs.Uint64("seed", 1, "base random seed")
+		converge = fs.Int("converge", 20, "convergence rounds before the failure")
+		budget   = fs.Int("max-rounds", 80, "round budget for reshaping")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var variants map[string]func(scenario.Config) scenario.Config
+	switch *mode {
+	case "size":
+		variants = map[string]func(scenario.Config) scenario.Config{
+			"K2": func(c scenario.Config) scenario.Config { c.K = 2; return c },
+			"K4": func(c scenario.Config) scenario.Config { c.K = 4; return c },
+			"K8": func(c scenario.Config) scenario.Config { c.K = 8; return c },
+		}
+	case "split":
+		variants = map[string]func(scenario.Config) scenario.Config{
+			"basic":    func(c scenario.Config) scenario.Config { c.K = 4; c.Split = core.SplitBasic; return c },
+			"md":       func(c scenario.Config) scenario.Config { c.K = 4; c.Split = core.SplitMD; return c },
+			"pd":       func(c scenario.Config) scenario.Config { c.K = 4; c.Split = core.SplitPD; return c },
+			"advanced": func(c scenario.Config) scenario.Config { c.K = 4; c.Split = core.SplitAdvanced; return c },
+		}
+	default:
+		return fmt.Errorf("unknown mode %q (want size|split)", *mode)
+	}
+
+	sizes := scenario.PaperGridSizes(*maxNodes)
+	results, err := scenario.SizeSweep(scenario.Config{Seed: *seed}, sizes, variants,
+		*reps, *converge, *budget)
+	if err != nil {
+		return err
+	}
+
+	labels := make([]string, 0, len(results))
+	for l := range results {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+
+	fmt.Fprintf(out, "# mode=%s reps=%d seed=%d\n", *mode, *reps, *seed)
+	fmt.Fprintln(out, "variant,nodes,reshaping_rounds_mean,reshaping_rounds_ci95")
+	for _, label := range labels {
+		for _, pt := range results[label] {
+			fmt.Fprintf(out, "%s,%d,%.2f,%.3f\n",
+				label, pt.Nodes, pt.ReshapingTime.Mean(), pt.ReshapingTime.CI95())
+		}
+	}
+	return nil
+}

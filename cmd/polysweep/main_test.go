@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSizeMode(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-max", "200", "-reps", "1", "-converge", "10", "-max-rounds", "40"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "variant,nodes,reshaping_rounds_mean") {
+		t.Fatal("missing CSV header")
+	}
+	for _, variant := range []string{"K2,", "K4,", "K8,"} {
+		if !strings.Contains(out, variant) {
+			t.Fatalf("missing variant %q:\n%s", variant, out)
+		}
+	}
+}
+
+func TestRunSplitMode(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-mode", "split", "-max", "128", "-reps", "1",
+		"-converge", "10", "-max-rounds", "40"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, variant := range []string{"basic,", "md,", "pd,", "advanced,"} {
+		if !strings.Contains(out, variant) {
+			t.Fatalf("missing variant %q:\n%s", variant, out)
+		}
+	}
+}
+
+func TestRunRejectsBadMode(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-mode", "nope"}, &b); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmallTable(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-w", "16", "-h", "8", "-reps", "2", "-converge", "10", "-max-rounds", "40"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table II", "Reshaping time", "Reliability"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// One row per K in {2,4,8}.
+	for _, k := range []string{"2 ", "4 ", "8 "} {
+		if !strings.Contains(out, "\n"+k) {
+			t.Fatalf("missing row for K=%s:\n%s", strings.TrimSpace(k), out)
+		}
+	}
+}
+
+func TestRunRejectsUnknownFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-nope"}, &b); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

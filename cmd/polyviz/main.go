@@ -1,0 +1,136 @@
+// Command polyviz renders snapshots of the overlay at chosen rounds of the
+// three-phase scenario, reproducing the visual figures of the paper:
+//
+//	polyviz -tman -rounds 19,40 -out fig1        # Fig. 1 (T-Man loses the shape)
+//	polyviz -k 4 -rounds 22,28 -out fig8          # Fig. 8 (repair)
+//	polyviz -rounds 125 -out fig9poly             # Fig. 9b (after reinjection)
+//
+// Each requested round r produces <out>-r<r>.svg plus an ASCII density map
+// on stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"polystyrene/internal/scenario"
+	"polystyrene/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "polyviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("polyviz", flag.ContinueOnError)
+	var (
+		w          = fs.Int("w", 80, "torus grid width")
+		h          = fs.Int("h", 40, "torus grid height")
+		k          = fs.Int("k", 4, "replication factor K")
+		seed       = fs.Uint64("seed", 1, "random seed")
+		tmanOnly   = fs.Bool("tman", false, "plain T-Man baseline")
+		failAt     = fs.Int("fail-at", 20, "round of the catastrophic failure")
+		reinjectAt = fs.Int("reinject-at", 100, "round of the reinjection")
+		roundsFlag = fs.String("rounds", "22,28", "comma-separated rounds to snapshot")
+		prefix     = fs.String("out", "snapshot", "output file prefix")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rounds, err := parseRounds(*roundsFlag)
+	if err != nil {
+		return err
+	}
+	last := rounds[len(rounds)-1]
+
+	sc, err := scenario.New(scenario.Config{
+		Seed:        *seed,
+		W:           *w,
+		H:           *h,
+		Polystyrene: !*tmanOnly,
+		K:           *k,
+		SkipMetrics: true,
+	})
+	if err != nil {
+		return err
+	}
+
+	killed := 0
+	for round := 0; round <= last; round++ {
+		if round == *failAt {
+			killed = sc.FailRightHalf()
+			fmt.Fprintf(out, "# round %d: crashed %d nodes\n", round, killed)
+		}
+		if round == *reinjectAt && killed > 0 {
+			sc.Reinject(killed)
+			fmt.Fprintf(out, "# round %d: reinjected %d nodes\n", round, killed)
+		}
+		sc.Run(1)
+		if !containsInt(rounds, round) {
+			continue
+		}
+		snap := sc.Snapshot()
+		name := fmt.Sprintf("%s-r%d.svg", *prefix, round)
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		if err := viz.WriteSVG(f, sc.Space, snap, viz.SVGOptions{}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		occ := viz.OccupancyStats(sc.Space, snap, *w/2, *h/2)
+		fmt.Fprintf(out, "# round %d: %d live nodes, occupancy %.0f%% -> %s\n",
+			round, sc.Engine.NumLive(), 100*occ, name)
+		fmt.Fprintln(out, viz.ASCIIDensity(sc.Space, snap, minInt(*w, 80), minInt(*h, 40)))
+	}
+	return nil
+}
+
+func parseRounds(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		r, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || r < 0 {
+			return nil, fmt.Errorf("invalid round %q", p)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no rounds given")
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1] {
+			return nil, fmt.Errorf("rounds must be ascending")
+		}
+	}
+	return out, nil
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

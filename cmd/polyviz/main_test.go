@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseRounds(t *testing.T) {
+	got, err := parseRounds("22, 28")
+	if err != nil || len(got) != 2 || got[0] != 22 || got[1] != 28 {
+		t.Fatalf("parseRounds = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "a", "-1", "10,5"} {
+		if _, err := parseRounds(bad); err == nil {
+			t.Errorf("parseRounds(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunWritesSVGs(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "snap")
+	var b strings.Builder
+	err := run([]string{
+		"-w", "16", "-h", "8", "-fail-at", "5", "-rounds", "4,10", "-out", prefix,
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []string{"4", "10"} {
+		name := prefix + "-r" + r + ".svg"
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("missing snapshot %s: %v", name, err)
+		}
+		if !strings.HasPrefix(string(data), "<svg") {
+			t.Fatalf("%s is not SVG", name)
+		}
+	}
+	if !strings.Contains(b.String(), "crashed") {
+		t.Fatal("failure event not reported")
+	}
+}
+
+func TestContainsAndMin(t *testing.T) {
+	if !containsInt([]int{1, 2}, 2) || containsInt([]int{1}, 3) {
+		t.Fatal("containsInt broken")
+	}
+	if minInt(3, 5) != 3 || minInt(5, 3) != 3 {
+		t.Fatal("minInt broken")
+	}
+}

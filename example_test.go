@@ -1,0 +1,44 @@
+package polystyrene_test
+
+import (
+	"fmt"
+
+	"polystyrene"
+)
+
+// ExampleNewSystem shows the paper's headline behaviour: a torus overlay
+// that survives losing its entire right half.
+func ExampleNewSystem() {
+	sys, err := polystyrene.NewSystem(polystyrene.SystemConfig{
+		Seed:              1,
+		Space:             polystyrene.Torus(20, 10),
+		Shape:             polystyrene.TorusShape(20, 10, 1),
+		ReplicationFactor: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sys.Run(15) // converge
+	sys.CrashRegion(func(p []float64) bool { return p[0] >= 10 })
+	sys.Run(12) // reshape
+	fmt.Println("shape recovered:", sys.Homogeneity() < sys.ReferenceHomogeneity())
+	// Output: shape recovered: true
+}
+
+// ExampleSystem_Lookup shows the routing primitive: queries resolve to the
+// node closest to a point, even for points whose original hosts crashed.
+func ExampleSystem_Lookup() {
+	sys, err := polystyrene.NewSystem(polystyrene.SystemConfig{
+		Seed:              2,
+		Space:             polystyrene.Ring(100),
+		Shape:             polystyrene.RingShape(50, 100),
+		ReplicationFactor: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sys.Run(15)
+	owner := sys.Lookup([]float64{42})
+	fmt.Println("key 42 has an owner:", owner >= 0)
+	// Output: key 42 has an owner: true
+}

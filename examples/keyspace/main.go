@@ -1,0 +1,82 @@
+// Keyspace: elastic re-provisioning of a CAN-like 2D key space.
+//
+// A cloud tenant runs a 2D-torus storage overlay (one node per key zone,
+// as in CAN). Half the fleet is lost when a region goes down; the overlay
+// first *absorbs* the failure — survivors take over the orphaned zones at
+// double load — and later the operator re-provisions fresh, empty VMs from
+// the pool. Polystyrene's migration hands each newcomer a fair share of
+// the key space, returning the system to one zone per node (the paper's
+// phase 3, Sec. IV-B).
+//
+//	go run ./examples/keyspace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"polystyrene"
+)
+
+const w, h = 32, 16 // 512 zones / nodes
+
+// loadStats returns the min, mean and max number of key zones (data
+// points) per live node — the load-balance view of the overlay.
+func loadStats(sys *polystyrene.System) (minLoad, maxLoad int, mean float64) {
+	live := sys.Live()
+	minLoad, maxLoad = 1<<30, 0
+	total := 0
+	for _, id := range live {
+		n := len(sys.NodeGuests(id))
+		total += n
+		if n < minLoad {
+			minLoad = n
+		}
+		if n > maxLoad {
+			maxLoad = n
+		}
+	}
+	return minLoad, maxLoad, float64(total) / float64(len(live))
+}
+
+func main() {
+	sys, err := polystyrene.NewSystem(polystyrene.SystemConfig{
+		Seed:              3,
+		Space:             polystyrene.Torus(w, h),
+		Shape:             polystyrene.TorusShape(w, h, 1),
+		ReplicationFactor: 6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(stage string) {
+		lo, hi, mean := loadStats(sys)
+		fmt.Printf("%-28s nodes=%3d  zones/node: min=%d mean=%.2f max=%d  homogeneity=%.3f\n",
+			stage, sys.NumLive(), lo, mean, hi, sys.Homogeneity())
+	}
+
+	sys.Run(20)
+	report("steady state:")
+
+	killed := sys.CrashRegion(func(p []float64) bool { return p[0] >= w/2 })
+	sys.Run(20)
+	report(fmt.Sprintf("region down (-%d nodes):", killed))
+
+	// Re-provision: fresh empty VMs join on an offset grid covering the
+	// whole torus uniformly.
+	fresh := make([][]float64, 0, killed)
+	for _, p := range polystyrene.TorusShape(w, h, 1) {
+		if len(fresh) < killed && int(p[0]+p[1])%2 == 0 {
+			fresh = append(fresh, []float64{p[0] + 0.5, p[1] + 0.5})
+		}
+	}
+	if _, err := sys.AddNodes(fresh); err != nil {
+		log.Fatal(err)
+	}
+	sys.Run(40)
+	report(fmt.Sprintf("re-provisioned (+%d nodes):", len(fresh)))
+
+	fmt.Printf("\n%.1f%% of the original key zones survived the regional outage (K=6)\n",
+		100*sys.Reliability())
+}

@@ -1,0 +1,69 @@
+// Routing: why shape preservation matters for greedy geometric routing.
+//
+// Overlays like CAN route greedily: each hop forwards to the neighbour
+// closest to the target, which works because nodes are spread uniformly
+// over the data space. This example converges a torus, crashes its right
+// half, and then fires greedy routes into the dead region — once over the
+// Polystyrene-recovered shape, once over the plain T-Man baseline. Over
+// the recovered shape every route lands on top of its target; over the
+// collapsed shape routes stall at the old boundary, half a torus away.
+//
+//	go run ./examples/routing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"polystyrene/internal/route"
+	"polystyrene/internal/scenario"
+	"polystyrene/internal/sim"
+	"polystyrene/internal/space"
+)
+
+const w, h = 40, 20
+
+func run(poly bool) (route.ProbeStats, error) {
+	sc, err := scenario.New(scenario.Config{
+		Seed: 9, W: w, H: h, Polystyrene: poly, K: 4, SkipMetrics: true,
+	})
+	if err != nil {
+		return route.ProbeStats{}, err
+	}
+	sc.Run(20)
+	sc.FailRightHalf()
+	sc.Run(20)
+
+	r := &route.Router{
+		Space:    sc.Space,
+		Topology: sc.Topology(),
+		Position: func(id sim.NodeID) space.Point { return sc.System().Position(id) },
+	}
+	// Probe targets spread across the crashed half.
+	var probes []space.Point
+	for x := float64(w)/2 + 2; x < w; x += 4 {
+		for y := 2.0; y < h; y += 5 {
+			probes = append(probes, space.Point{x, y})
+		}
+	}
+	src := sc.Engine.LiveIDs()[0]
+	return r.Probe(sc.Engine, src, probes)
+}
+
+func main() {
+	fmt.Printf("greedy routing into the crashed half of a %dx%d torus\n\n", w, h)
+	for _, poly := range []bool{false, true} {
+		name := "polystyrene"
+		if !poly {
+			name = "t-man only "
+		}
+		st, err := run(poly)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s  %2d routes: mean final distance %5.2f, worst %5.2f, mean hops %.1f\n",
+			name, st.Routes, st.MeanFinalDistance(), st.WorstFinalDistance, st.MeanHops())
+	}
+	fmt.Println("\nOver the recovered shape, greedy routing delivers next to every target;")
+	fmt.Println("over the collapsed one it stalls at the old failure boundary.")
+}

@@ -1,0 +1,187 @@
+// Package aggregate implements gossip-based aggregation (Jelasity,
+// Montresor & Babaoglu, ACM TOCS 2005 — the paper's reference [24] and the
+// source of its pair-wise exchange discipline): every node holds a local
+// estimate, and each round it averages that estimate with a random peer's.
+// All estimates converge exponentially fast to the global average of the
+// initial values.
+//
+// Polystyrene's evaluation computes the reference homogeneity
+// H = 0.5*sqrt(A/N) from global knowledge of the live node count N. A
+// deployed system has no such oracle; this package supplies the standard
+// decentralized substitutes:
+//
+//   - Average: push-pull averaging of an arbitrary per-node quantity;
+//   - Count: system-size estimation (one node seeds 1, everyone else 0;
+//     the average converges to 1/N, so N ≈ 1/estimate);
+//
+// so every node can track N — and therefore H, and therefore "has the
+// shape recovered yet?" — locally. The integration test in this package
+// demonstrates exactly that on the paper's catastrophe scenario.
+package aggregate
+
+import (
+	"fmt"
+
+	"polystyrene/internal/rps"
+	"polystyrene/internal/sim"
+)
+
+// Kind selects what the protocol aggregates.
+type Kind int
+
+const (
+	// Average converges every estimate to the mean of initial values.
+	Average Kind = iota + 1
+	// Count converges every estimate to 1/N, from which the live system
+	// size is recovered as 1/estimate. The protocol re-seeds after
+	// membership changes via Restart.
+	Count
+)
+
+// Config parameterises the protocol.
+type Config struct {
+	// Kind selects the aggregate.
+	Kind Kind
+	// Sampler supplies random gossip partners.
+	Sampler *rps.Protocol
+	// Initial returns a node's initial value (required for Average;
+	// ignored for Count).
+	Initial func(id sim.NodeID) float64
+}
+
+// Protocol is the aggregation layer. It implements sim.Protocol.
+type Protocol struct {
+	cfg       Config
+	estimates []float64
+	known     []bool
+	seeded    bool
+}
+
+var _ sim.Protocol = (*Protocol)(nil)
+
+// New returns an aggregation layer.
+func New(cfg Config) (*Protocol, error) {
+	switch cfg.Kind {
+	case Average:
+		if cfg.Initial == nil {
+			return nil, fmt.Errorf("aggregate: Average needs Config.Initial")
+		}
+	case Count:
+		// no initial function needed
+	default:
+		return nil, fmt.Errorf("aggregate: unknown kind %d", cfg.Kind)
+	}
+	if cfg.Sampler == nil {
+		return nil, fmt.Errorf("aggregate: Config.Sampler is required")
+	}
+	return &Protocol{cfg: cfg}, nil
+}
+
+// MustNew is New but panics on configuration errors.
+func MustNew(cfg Config) *Protocol {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name implements sim.Protocol.
+func (p *Protocol) Name() string { return "aggregate" }
+
+// InitNode implements sim.Protocol.
+func (p *Protocol) InitNode(_ *sim.Engine, id sim.NodeID) {
+	for len(p.estimates) <= int(id) {
+		p.estimates = append(p.estimates, 0)
+		p.known = append(p.known, false)
+	}
+	switch p.cfg.Kind {
+	case Average:
+		p.estimates[id] = p.cfg.Initial(id)
+	case Count:
+		if !p.seeded {
+			// Exactly one node starts at 1; the average of the whole
+			// population is then 1/N.
+			p.estimates[id] = 1
+			p.seeded = true
+		} else {
+			p.estimates[id] = 0
+		}
+	}
+	p.known[id] = true
+}
+
+// Step implements sim.Protocol: one push-pull averaging exchange.
+func (p *Protocol) Step(e *sim.Engine, id sim.NodeID) {
+	q := p.cfg.Sampler.RandomPeer(e, id)
+	if q == sim.None || !e.Alive(q) {
+		return
+	}
+	mean := (p.estimates[id] + p.estimates[q]) / 2
+	p.estimates[id] = mean
+	p.estimates[q] = mean
+	// One value each way, one unit per value.
+	e.Charge(2)
+}
+
+// Estimate returns id's current local estimate.
+func (p *Protocol) Estimate(id sim.NodeID) float64 {
+	if int(id) >= len(p.estimates) {
+		return 0
+	}
+	return p.estimates[id]
+}
+
+// CountEstimate converts a Count-mode estimate into a system-size guess
+// from id's point of view. It returns 0 until the node has any mass.
+func (p *Protocol) CountEstimate(id sim.NodeID) float64 {
+	est := p.Estimate(id)
+	if p.cfg.Kind != Count || est <= 0 {
+		return 0
+	}
+	return 1 / est
+}
+
+// Restart re-seeds the aggregate over the current live population. For
+// Count this is the standard epoch restart after churn: mass lost with
+// crashed nodes (or duplicated by joins) biases the estimate, so periodic
+// restarts keep it tracking the live N.
+func (p *Protocol) Restart(e *sim.Engine, initial func(id sim.NodeID) float64) {
+	live := e.LiveIDs()
+	switch p.cfg.Kind {
+	case Count:
+		for i, id := range live {
+			if i == 0 {
+				p.estimates[id] = 1
+			} else {
+				p.estimates[id] = 0
+			}
+		}
+	case Average:
+		if initial == nil {
+			initial = p.cfg.Initial
+		}
+		for _, id := range live {
+			p.estimates[id] = initial(id)
+		}
+	}
+}
+
+// MaxRelativeError reports the worst relative deviation of live estimates
+// from the true value — the convergence measure of the TOCS paper.
+func (p *Protocol) MaxRelativeError(e *sim.Engine, truth float64) float64 {
+	if truth == 0 {
+		return 0
+	}
+	worst := 0.0
+	for _, id := range e.LiveIDs() {
+		err := (p.estimates[id] - truth) / truth
+		if err < 0 {
+			err = -err
+		}
+		if err > worst {
+			worst = err
+		}
+	}
+	return worst
+}

@@ -1,0 +1,165 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+
+	"polystyrene/internal/rps"
+	"polystyrene/internal/sim"
+)
+
+func newAvgNet(t *testing.T, seed uint64, n int, initial func(id sim.NodeID) float64) (*sim.Engine, *Protocol) {
+	t.Helper()
+	sampler := rps.New(rps.Config{})
+	agg, err := New(Config{Kind: Average, Sampler: sampler, Initial: initial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.New(seed, sampler, agg)
+	e.AddNodes(n)
+	return e, agg
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := New(Config{Kind: Average, Sampler: rps.New(rps.Config{})}); err == nil {
+		t.Fatal("Average without Initial accepted")
+	}
+	if _, err := New(Config{Kind: Kind(42), Sampler: rps.New(rps.Config{})}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestAverageConverges(t *testing.T) {
+	// Initial values 0..99: the global mean is 49.5; every local estimate
+	// must approach it exponentially fast (TOCS 2005).
+	e, agg := newAvgNet(t, 1, 100, func(id sim.NodeID) float64 { return float64(id) })
+	e.RunRounds(30)
+	if err := agg.MaxRelativeError(e, 49.5); err > 0.01 {
+		t.Fatalf("max relative error %v after 30 rounds, want < 1%%", err)
+	}
+}
+
+func TestAverageMassConservation(t *testing.T) {
+	// Push-pull averaging preserves the sum of estimates exactly (up to
+	// float error) as long as nobody crashes.
+	e, agg := newAvgNet(t, 2, 64, func(id sim.NodeID) float64 { return float64(id % 7) })
+	want := 0.0
+	for _, id := range e.LiveIDs() {
+		want += agg.Estimate(id)
+	}
+	e.RunRounds(20)
+	got := 0.0
+	for _, id := range e.LiveIDs() {
+		got += agg.Estimate(id)
+	}
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("mass changed: %v -> %v", want, got)
+	}
+}
+
+func TestCountEstimatesSystemSize(t *testing.T) {
+	sampler := rps.New(rps.Config{})
+	agg := MustNew(Config{Kind: Count, Sampler: sampler})
+	e := sim.New(3, sampler, agg)
+	e.AddNodes(200)
+	e.RunRounds(40)
+	for _, id := range e.LiveIDs() {
+		n := agg.CountEstimate(id)
+		if n < 150 || n > 260 {
+			t.Fatalf("node %d estimates N=%v, truth 200", id, n)
+		}
+	}
+}
+
+func TestCountRestartTracksCrash(t *testing.T) {
+	// After a massive crash, the old mass distribution is biased; an epoch
+	// restart re-converges the estimate to the new live population.
+	sampler := rps.New(rps.Config{})
+	agg := MustNew(Config{Kind: Count, Sampler: sampler})
+	e := sim.New(4, sampler, agg)
+	e.AddNodes(200)
+	e.RunRounds(30)
+	for id := sim.NodeID(100); id < 200; id++ {
+		e.Kill(id)
+	}
+	agg.Restart(e, nil)
+	e.RunRounds(40)
+	for _, id := range e.LiveIDs() {
+		n := agg.CountEstimate(id)
+		if n < 70 || n > 140 {
+			t.Fatalf("node %d estimates N=%v after crash, truth 100", id, n)
+		}
+	}
+}
+
+func TestRestartAverage(t *testing.T) {
+	e, agg := newAvgNet(t, 5, 50, func(sim.NodeID) float64 { return 10 })
+	e.RunRounds(5)
+	agg.Restart(e, func(sim.NodeID) float64 { return 2 })
+	e.RunRounds(10)
+	if err := agg.MaxRelativeError(e, 2); err > 0.01 {
+		t.Fatalf("restart did not take: err %v", err)
+	}
+}
+
+func TestEstimateUnknownNode(t *testing.T) {
+	_, agg := newAvgNet(t, 6, 3, func(sim.NodeID) float64 { return 1 })
+	if agg.Estimate(999) != 0 || agg.CountEstimate(999) != 0 {
+		t.Fatal("unknown node estimate not zero")
+	}
+}
+
+func TestMaxRelativeErrorZeroTruth(t *testing.T) {
+	e, agg := newAvgNet(t, 7, 3, func(sim.NodeID) float64 { return 1 })
+	if agg.MaxRelativeError(e, 0) != 0 {
+		t.Fatal("zero truth should yield zero error")
+	}
+}
+
+func TestChargesCost(t *testing.T) {
+	e, _ := newAvgNet(t, 8, 50, func(sim.NodeID) float64 { return 1 })
+	e.RunRounds(5)
+	if e.Meter().TotalCost("aggregate") == 0 {
+		t.Fatal("aggregation charged nothing")
+	}
+}
+
+func TestDecentralizedReferenceHomogeneity(t *testing.T) {
+	// The paper computes the reference homogeneity H = 0.5*sqrt(A/N) from
+	// global knowledge of N (Sec. IV-A). A deployed Polystyrene system can
+	// instead track N with Count aggregation and evaluate H locally: after
+	// the half-system crash, every node's locally computed H must be close
+	// to the true sqrt(2)/2-scaled value.
+	const area, n = 3200.0, 200
+	sampler := rps.New(rps.Config{})
+	agg := MustNew(Config{Kind: Count, Sampler: sampler})
+	e := sim.New(9, sampler, agg)
+	e.AddNodes(n)
+	e.RunRounds(30)
+	for id := sim.NodeID(n / 2); id < n; id++ {
+		e.Kill(id)
+	}
+	agg.Restart(e, nil)
+	e.RunRounds(40)
+
+	trueH := 0.5 * math.Sqrt(area/float64(n/2))
+	for _, id := range e.LiveIDs() {
+		nodeN := agg.CountEstimate(id)
+		if nodeN <= 0 {
+			t.Fatalf("node %d has no size estimate", id)
+		}
+		localH := 0.5 * math.Sqrt(area/nodeN)
+		if rel := math.Abs(localH-trueH) / trueH; rel > 0.2 {
+			t.Fatalf("node %d local H=%v vs true %v (rel err %v)", id, localH, trueH, rel)
+		}
+	}
+}

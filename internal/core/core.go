@@ -1,0 +1,473 @@
+// Package core implements Polystyrene, the paper's contribution: a
+// shape-preserving add-on layer for decentralized topology construction
+// (Sec. III). It decouples nodes from the data points that define the
+// target shape, so that when a whole region of the overlay crashes the
+// survivors can adopt the orphaned data points and migrate onto them,
+// reforming the original shape at a lower sampling density.
+//
+// The layer combines four epidemic mechanisms, executed after every round
+// of the underlying topology-construction protocol (Fig. 4):
+//
+//   - projection — a node's virtual position, fed to T-Man, is the medoid
+//     of the data points it hosts (Sec. III-C);
+//   - backup — every node replicates its guest points onto K random nodes,
+//     where they are stored as inactive ghosts (Algorithm 1, Sec. III-D);
+//   - recovery — when a ghost's origin is detected as failed, the ghost
+//     points are reactivated into the local guest set (Algorithm 2);
+//   - migration — neighbouring nodes repeatedly merge and re-split their
+//     guest sets (Algorithm 3), a pair-wise decentralized k-means that
+//     re-balances points across nodes and removes duplicates (Sec. III-F).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"polystyrene/internal/fd"
+	"polystyrene/internal/rps"
+	"polystyrene/internal/sim"
+	"polystyrene/internal/space"
+)
+
+// Topology is the view Polystyrene needs of the topology-construction
+// layer below it: the ability to enumerate a node's k closest overlay
+// neighbours. Both T-Man and Vicinity satisfy it — the paper presents
+// Polystyrene as "an add-on layer that can be plugged into any
+// decentralized topology construction algorithm" (Sec. II-C).
+type Topology interface {
+	Neighbors(id sim.NodeID, k int) []sim.NodeID
+}
+
+// Defaults from the paper's experimental setting (Sec. IV-A).
+const (
+	// DefaultK is the replication factor (the paper evaluates 2, 4 and 8;
+	// 4 is the middle setting used for the illustrative figures).
+	DefaultK = 4
+	// DefaultPsi is ψ, the size of the neighbour window the migration
+	// partner is drawn from (Algorithm 3, line 1).
+	DefaultPsi = 5
+)
+
+// BackupPlacement selects where a node places its K replicas.
+type BackupPlacement int
+
+const (
+	// PlaceRandom spreads copies uniformly at random via the peer-sampling
+	// layer — the paper's default, chosen to survive spatially correlated
+	// failures (Sec. III-D).
+	PlaceRandom BackupPlacement = iota + 1
+	// PlaceNeighbors replicates to topologically close nodes instead. The
+	// paper discusses this variant: faster percolation after localized
+	// failures, but vulnerable to correlated regional crashes. Provided
+	// for the ablation benches.
+	PlaceNeighbors
+)
+
+// Config parameterises the Polystyrene layer. Space, Topology and Sampler are
+// required. InitialPoint decides the data point a joining node starts
+// with; when it returns seed=false the node joins empty-handed but with an
+// initialised position (the paper's reinjection scenario, Sec. IV-A).
+type Config struct {
+	// Space is the metric data space.
+	Space space.Space
+	// Topology is the topology-construction layer below (T-Man, Vicinity, ...).
+	Topology Topology
+	// Sampler is the peer-sampling layer, used for random backup targets
+	// and the random migration candidate.
+	Sampler *rps.Protocol
+	// Detector is the failure detector; nil means fd.Perfect.
+	Detector fd.Detector
+	// InitialPoint returns the original position of a joining node and
+	// whether that position is a data point the node should host (seed).
+	InitialPoint func(id sim.NodeID) (pos space.Point, seed bool)
+	// K is the replication factor (copies per data point).
+	K int
+	// Psi is the migration candidate window ψ.
+	Psi int
+	// Split selects the migration split strategy; zero means SplitAdvanced.
+	Split SplitKind
+	// DiameterSampleCap bounds diameter search cost; see Splitter.
+	DiameterSampleCap int
+	// Placement selects backup placement; zero means PlaceRandom.
+	Placement BackupPlacement
+	// FullCopyBackup disables the incremental-delta optimisation of
+	// Algorithm 1 (Sec. III-D) so each round re-sends full copies. Only
+	// the charged message cost differs; provided for the ablation bench.
+	FullCopyBackup bool
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Space == nil {
+		return c, fmt.Errorf("core: Config.Space is required")
+	}
+	if c.Topology == nil {
+		return c, fmt.Errorf("core: Config.Topology is required")
+	}
+	if c.Sampler == nil {
+		return c, fmt.Errorf("core: Config.Sampler is required")
+	}
+	if c.InitialPoint == nil {
+		return c, fmt.Errorf("core: Config.InitialPoint is required")
+	}
+	if c.Detector == nil {
+		c.Detector = fd.Perfect{}
+	}
+	if c.K <= 0 {
+		c.K = DefaultK
+	}
+	if c.Psi <= 0 {
+		c.Psi = DefaultPsi
+	}
+	if c.Split == 0 {
+		c.Split = SplitAdvanced
+	}
+	if c.Placement == 0 {
+		c.Placement = PlaceRandom
+	}
+	return c, nil
+}
+
+// nodeState is the per-node state of Table I in the paper.
+type nodeState struct {
+	// guests are the data points this node currently hosts (primary
+	// copies). Keys are unique within the slice.
+	guests []space.Point
+	// pos is the node's virtual position: the medoid of guests, or the
+	// last known position when guests is empty.
+	pos space.Point
+	// ghosts maps an origin node to the inactive copies it pushed here.
+	ghosts map[sim.NodeID][]space.Point
+	// backups lists the nodes this node replicates its guests to.
+	backups []sim.NodeID
+	// pushed caches, per backup node, the key set of the guests most
+	// recently pushed there, enabling incremental-delta cost accounting.
+	pushed map[sim.NodeID]map[string]bool
+}
+
+// Protocol is the Polystyrene layer. It implements sim.Protocol and must
+// be stacked above its Config.Topology layer in the engine.
+type Protocol struct {
+	cfg      Config
+	splitter Splitter
+	nodes    []*nodeState
+}
+
+var _ sim.Protocol = (*Protocol)(nil)
+
+// New returns a Polystyrene layer with the given configuration.
+func New(cfg Config) (*Protocol, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Protocol{
+		cfg: cfg,
+		splitter: Splitter{
+			Kind:              cfg.Split,
+			Space:             cfg.Space,
+			DiameterSampleCap: cfg.DiameterSampleCap,
+		},
+	}, nil
+}
+
+// MustNew is New but panics on configuration errors.
+func MustNew(cfg Config) *Protocol {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name implements sim.Protocol.
+func (p *Protocol) Name() string { return "polystyrene" }
+
+// InitNode implements sim.Protocol.
+func (p *Protocol) InitNode(e *sim.Engine, id sim.NodeID) {
+	if p.splitter.Rng == nil {
+		p.splitter.Rng = e.Rand().Split()
+	}
+	for len(p.nodes) <= int(id) {
+		p.nodes = append(p.nodes, nil)
+	}
+	pos, seed := p.cfg.InitialPoint(id)
+	st := &nodeState{
+		pos:    pos.Clone(),
+		ghosts: make(map[sim.NodeID][]space.Point),
+		pushed: make(map[sim.NodeID]map[string]bool),
+	}
+	if seed {
+		st.guests = []space.Point{pos.Clone()}
+	}
+	p.nodes[id] = st
+}
+
+// Step implements sim.Protocol: recovery, backup maintenance, migration
+// and projection for one node (paper Fig. 4, steps 2-4; projection is
+// step 1 of the *next* T-Man round).
+func (p *Protocol) Step(e *sim.Engine, id sim.NodeID) {
+	p.recover(e, id)
+	p.backup(e, id)
+	p.migrate(e, id)
+	p.project(id)
+}
+
+// --- Recovery (Algorithm 2) ---
+
+// recover reactivates ghost points whose origin node has been detected as
+// failed, merging them into the local guest set.
+func (p *Protocol) recover(e *sim.Engine, id sim.NodeID) {
+	st := p.nodes[id]
+	// Collect failed origins first and process them in ID order: map
+	// iteration order is randomised in Go, and the merge order influences
+	// guest-slice order (hence medoid tie-breaks), which would make runs
+	// non-reproducible.
+	var failed []sim.NodeID
+	for origin := range st.ghosts {
+		if p.cfg.Detector.Failed(e, id, origin) {
+			failed = append(failed, origin)
+		}
+	}
+	sort.Slice(failed, func(i, j int) bool { return failed[i] < failed[j] })
+	for _, origin := range failed {
+		st.guests = mergePoints(st.guests, st.ghosts[origin])
+		delete(st.ghosts, origin)
+	}
+}
+
+// --- Backup (Algorithm 1) ---
+
+// backup prunes failed backup targets, tops the set back up to K random
+// nodes, and pushes the current guest set to every target.
+func (p *Protocol) backup(e *sim.Engine, id sim.NodeID) {
+	st := p.nodes[id]
+
+	// backups ← backups \ failed (line 1).
+	kept := st.backups[:0]
+	for _, b := range st.backups {
+		if !p.cfg.Detector.Failed(e, id, b) {
+			kept = append(kept, b)
+		} else {
+			delete(st.pushed, b)
+		}
+	}
+	st.backups = kept
+
+	// backups ← backups ∪ {(K − |backups|) random nodes} (line 2).
+	if missing := p.cfg.K - len(st.backups); missing > 0 {
+		st.backups = append(st.backups, p.pickBackupTargets(e, id, missing)...)
+	}
+
+	// Push guests to every backup (lines 3-4). The stored ghosts are a
+	// full replacement; the *charged* traffic is the incremental delta
+	// (Sec. III-D optimisation) unless FullCopyBackup is set.
+	ptCost := sim.PointCost(p.cfg.Space.Dim())
+	for _, b := range st.backups {
+		bst := p.nodes[b]
+		bst.ghosts[id] = clonePoints(st.guests)
+
+		if p.cfg.FullCopyBackup {
+			e.Charge(len(st.guests) * ptCost)
+			continue
+		}
+		prev := st.pushed[b]
+		now := make(map[string]bool, len(st.guests))
+		delta := 0
+		for _, g := range st.guests {
+			k := g.Key()
+			now[k] = true
+			if !prev[k] {
+				delta++ // point added since last push
+			}
+		}
+		for k := range prev {
+			if !now[k] {
+				delta++ // point removed since last push (tombstone)
+			}
+		}
+		st.pushed[b] = now
+		e.Charge(delta * ptCost)
+	}
+}
+
+// pickBackupTargets returns up to n fresh backup nodes according to the
+// configured placement, excluding self and current targets.
+func (p *Protocol) pickBackupTargets(e *sim.Engine, id sim.NodeID, n int) []sim.NodeID {
+	st := p.nodes[id]
+	exclude := make(map[sim.NodeID]bool, len(st.backups)+1)
+	exclude[id] = true
+	for _, b := range st.backups {
+		exclude[b] = true
+	}
+
+	var candidates []sim.NodeID
+	switch p.cfg.Placement {
+	case PlaceNeighbors:
+		candidates = p.cfg.Topology.Neighbors(id, n+len(st.backups)+1)
+	default:
+		candidates = p.cfg.Sampler.RandomPeers(e, id, n+len(st.backups)+1)
+	}
+
+	out := make([]sim.NodeID, 0, n)
+	for _, c := range candidates {
+		if len(out) == n {
+			return out
+		}
+		if !exclude[c] && e.Alive(c) {
+			exclude[c] = true
+			out = append(out, c)
+		}
+	}
+	// The sampling view may be too small right after a catastrophe; fall
+	// back to uniform draws over the whole live system.
+	for tries := 0; len(out) < n && tries < 20*n; tries++ {
+		c := e.RandomLive()
+		if c != sim.None && !exclude[c] {
+			exclude[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// --- Migration (Algorithm 3) ---
+
+// migrate performs the pair-wise pull-push exchange of guest points with a
+// partner drawn from the ψ closest T-Man neighbours plus one random peer.
+func (p *Protocol) migrate(e *sim.Engine, id sim.NodeID) {
+	candidates := p.cfg.Topology.Neighbors(id, p.cfg.Psi)
+	if r := p.cfg.Sampler.RandomPeer(e, id); r != sim.None && r != id {
+		dup := false
+		for _, c := range candidates {
+			if c == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			candidates = append(candidates, r)
+		}
+	}
+	// Neighbours can be stale for one round after a crash event.
+	live := candidates[:0]
+	for _, c := range candidates {
+		if e.Alive(c) {
+			live = append(live, c)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	q := live[e.Rand().Intn(len(live))]
+
+	pst, qst := p.nodes[id], p.nodes[q]
+	// all_points ← p.guests ∪ q.guests (line 4). The union removes
+	// duplicate copies, which is how redundant points created by eager
+	// re-replication after a failure get cleaned up (Sec. IV-B).
+	all := mergePoints(clonePoints(pst.guests), qst.guests)
+
+	toP, toQ := p.splitter.Split(all, pst.pos, qst.pos)
+	ptCost := sim.PointCost(p.cfg.Space.Dim())
+	// Pull: q ships its guests to p; push: p ships q's new set back.
+	e.Charge((len(qst.guests) + len(toQ)) * ptCost)
+
+	pst.guests = toP
+	qst.guests = toQ
+	p.project(q) // q's position moves with its new guest set
+}
+
+// --- Projection (Sec. III-C) ---
+
+// project recomputes the node's virtual position as the medoid of its
+// guests. A node with no guests keeps its previous position, which is how
+// freshly reinjected (empty) nodes remain addressable until migration
+// hands them points.
+func (p *Protocol) project(id sim.NodeID) {
+	st := p.nodes[id]
+	if len(st.guests) == 0 {
+		return
+	}
+	st.pos = space.MedoidPoint(p.cfg.Space, st.guests)
+}
+
+// --- Accessors (used by the position func, metrics and tests) ---
+
+// Position returns the node's current virtual position. It is valid for
+// dead nodes too (their last position), which T-Man needs while purging.
+func (p *Protocol) Position(id sim.NodeID) space.Point {
+	return p.nodes[id].pos
+}
+
+// Guests returns a copy of the node's guest points.
+func (p *Protocol) Guests(id sim.NodeID) []space.Point {
+	return clonePoints(p.nodes[id].guests)
+}
+
+// NumGuests returns how many guest points the node hosts.
+func (p *Protocol) NumGuests(id sim.NodeID) int { return len(p.nodes[id].guests) }
+
+// NumGhosts returns how many ghost points the node stores.
+func (p *Protocol) NumGhosts(id sim.NodeID) int {
+	n := 0
+	for _, pts := range p.nodes[id].ghosts {
+		n += len(pts)
+	}
+	return n
+}
+
+// Backups returns a copy of the node's current backup targets.
+func (p *Protocol) Backups(id sim.NodeID) []sim.NodeID {
+	out := make([]sim.NodeID, len(p.nodes[id].backups))
+	copy(out, p.nodes[id].backups)
+	return out
+}
+
+// GhostOrigins returns the origins that have replicated state to id.
+func (p *Protocol) GhostOrigins(id sim.NodeID) []sim.NodeID {
+	st := p.nodes[id]
+	out := make([]sim.NodeID, 0, len(st.ghosts))
+	for origin := range st.ghosts {
+		out = append(out, origin)
+	}
+	return out
+}
+
+// K returns the configured replication factor.
+func (p *Protocol) K() int { return p.cfg.K }
+
+// PositionFunc returns the function the topology-construction layer should
+// use to resolve node positions, closing the projection loop of Fig. 3.
+// The result is assignable to tman.PositionFunc and vicinity.PositionFunc.
+func (p *Protocol) PositionFunc() func(id sim.NodeID) space.Point {
+	return func(id sim.NodeID) space.Point { return p.Position(id) }
+}
+
+// --- point-set helpers ---
+
+// clonePoints returns an independent copy of pts (points themselves are
+// immutable and may be shared).
+func clonePoints(pts []space.Point) []space.Point {
+	out := make([]space.Point, len(pts))
+	copy(out, pts)
+	return out
+}
+
+// mergePoints returns base extended with every point of extra that is not
+// already present (set union by point key). base may be mutated.
+func mergePoints(base []space.Point, extra []space.Point) []space.Point {
+	if len(extra) == 0 {
+		return base
+	}
+	seen := make(map[string]bool, len(base)+len(extra))
+	for _, b := range base {
+		seen[b.Key()] = true
+	}
+	for _, x := range extra {
+		k := x.Key()
+		if !seen[k] {
+			seen[k] = true
+			base = append(base, x)
+		}
+	}
+	return base
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+
+	"polystyrene/internal/space"
+	"polystyrene/internal/xrand"
+)
+
+// SplitKind selects the strategy used to distribute the merged guest sets
+// of two interacting nodes during migration (paper Sec. III-F).
+type SplitKind int
+
+const (
+	// SplitBasic allocates each data point to the closer of the two node
+	// positions (Algorithm 4) — a step of distributed k-means. It can get
+	// stuck in status-quo configurations (Fig. 5a).
+	SplitBasic SplitKind = iota + 1
+	// SplitPD partitions the merged set along one of its diameters
+	// (heuristic PD of Algorithm 5) and assigns the two parts in the
+	// (u→p, v→q) orientation, without the displacement heuristic.
+	SplitPD
+	// SplitMD partitions with the basic closest-position rule but then
+	// allocates the two clusters so as to minimise the movement of the two
+	// nodes (heuristic MD of Algorithm 5 on its own, as in Fig. 10b).
+	SplitMD
+	// SplitAdvanced combines both heuristics (Algorithm 5): partition
+	// along a diameter (PD), then orient the allocation to minimise node
+	// displacement (MD). This is what the headline results use.
+	SplitAdvanced
+)
+
+// String implements fmt.Stringer.
+func (k SplitKind) String() string {
+	switch k {
+	case SplitBasic:
+		return "basic"
+	case SplitPD:
+		return "pd"
+	case SplitMD:
+		return "md"
+	case SplitAdvanced:
+		return "advanced"
+	default:
+		return fmt.Sprintf("SplitKind(%d)", int(k))
+	}
+}
+
+// ParseSplitKind converts a CLI string into a SplitKind.
+func ParseSplitKind(s string) (SplitKind, error) {
+	switch s {
+	case "basic":
+		return SplitBasic, nil
+	case "pd":
+		return SplitPD, nil
+	case "md":
+		return SplitMD, nil
+	case "advanced", "pd+md":
+		return SplitAdvanced, nil
+	default:
+		return 0, fmt.Errorf("core: unknown split kind %q (want basic|pd|md|advanced)", s)
+	}
+}
+
+// Splitter distributes a merged point set between two nodes at positions
+// posP and posQ, returning the points each node should keep. The two
+// returned slices always form a partition of the input: every input point
+// appears in exactly one of them.
+type Splitter struct {
+	// Kind selects the strategy.
+	Kind SplitKind
+	// Space supplies the metric.
+	Space space.Space
+	// DiameterSampleCap bounds the number of candidate pairs examined
+	// when approximating a diameter over large point sets (the paper
+	// suggests sampling once a set exceeds ~30 points). Zero means the
+	// default of 500 pairs; exact search is used whenever the set has no
+	// more pairs than the cap.
+	DiameterSampleCap int
+	// Rng supplies randomness for diameter sampling. Required only when
+	// point sets can exceed the exact-search threshold.
+	Rng *xrand.Rand
+}
+
+const defaultDiameterSampleCap = 500
+
+// Split distributes points between the nodes at posP and posQ.
+func (sp *Splitter) Split(points []space.Point, posP, posQ space.Point) (toP, toQ []space.Point) {
+	switch sp.Kind {
+	case SplitPD:
+		u, v, ok := sp.diameter(points)
+		if !ok {
+			return splitByPositions(sp.Space, points, posP, posQ)
+		}
+		return partitionBetween(sp.Space, points, u, v)
+	case SplitMD:
+		a, b := splitByPositions(sp.Space, points, posP, posQ)
+		return sp.orientByDisplacement(a, b, posP, posQ)
+	case SplitAdvanced:
+		u, v, ok := sp.diameter(points)
+		if !ok {
+			return splitByPositions(sp.Space, points, posP, posQ)
+		}
+		a, b := partitionBetween(sp.Space, points, u, v)
+		return sp.orientByDisplacement(a, b, posP, posQ)
+	default: // SplitBasic and unset
+		return splitByPositions(sp.Space, points, posP, posQ)
+	}
+}
+
+// diameter returns a farthest pair (exact for small sets, sampled for
+// large ones). ok is false when fewer than two points exist.
+func (sp *Splitter) diameter(points []space.Point) (u, v space.Point, ok bool) {
+	if len(points) < 2 {
+		return nil, nil, false
+	}
+	maxPairs := sp.DiameterSampleCap
+	if maxPairs <= 0 {
+		maxPairs = defaultDiameterSampleCap
+	}
+	var i, j int
+	if sp.Rng != nil {
+		i, j, _ = space.DiameterSampled(sp.Space, points, maxPairs, sp.Rng)
+	} else {
+		i, j, _ = space.Diameter(sp.Space, points)
+	}
+	if i < 0 {
+		return nil, nil, false
+	}
+	return points[i], points[j], true
+}
+
+// splitByPositions is Algorithm 4 (SPLIT_BASIC): points strictly closer to
+// posP go to p; ties and the rest go to q.
+func splitByPositions(s space.Space, points []space.Point, posP, posQ space.Point) (toP, toQ []space.Point) {
+	for _, x := range points {
+		if s.Distance(x, posP) < s.Distance(x, posQ) {
+			toP = append(toP, x)
+		} else {
+			toQ = append(toQ, x)
+		}
+	}
+	return toP, toQ
+}
+
+// partitionBetween implements heuristic PD (Algorithm 5, lines 2-4):
+// points strictly closer to u form one part, ties and the rest the other.
+func partitionBetween(s space.Space, points []space.Point, u, v space.Point) (partU, partV []space.Point) {
+	for _, x := range points {
+		if s.Distance(x, u) < s.Distance(x, v) {
+			partU = append(partU, x)
+		} else {
+			partV = append(partV, x)
+		}
+	}
+	return partU, partV
+}
+
+// orientByDisplacement implements heuristic MD (Algorithm 5, lines 5-13):
+// allocate the two clusters to p and q so the sum of medoid-to-position
+// distances — how far each node would move — is minimal. Empty clusters
+// contribute no displacement.
+func (sp *Splitter) orientByDisplacement(a, b []space.Point, posP, posQ space.Point) (toP, toQ []space.Point) {
+	ma := space.MedoidPoint(sp.Space, a)
+	mb := space.MedoidPoint(sp.Space, b)
+	dist := func(m, pos space.Point) float64 {
+		if m == nil {
+			return 0
+		}
+		return sp.Space.Distance(m, pos)
+	}
+	deltaAB := dist(ma, posP) + dist(mb, posQ)
+	deltaBA := dist(mb, posP) + dist(ma, posQ)
+	if deltaAB < deltaBA {
+		return a, b
+	}
+	return b, a
+}

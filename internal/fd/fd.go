@@ -1,0 +1,112 @@
+// Package fd provides the failure detectors Polystyrene consults in its
+// recovery and backup steps (the `failed` variable of the paper's
+// pseudocode, Sec. III-A).
+//
+// The paper assumes "a (possibly imperfect) failure detector", realised in
+// practice by pings or heartbeats. We provide a perfect detector (what the
+// published evaluation uses, since PeerSim exposes ground-truth liveness)
+// and two imperfect ones used by the robustness tests and ablation benches:
+// a fixed-delay detector and a probabilistic detector in which each
+// observer independently discovers each crash with some per-query
+// probability. All detectors are eventually complete: a crash is
+// eventually reported to every observer, so ghosts are always reactivated.
+// None produces false positives; the crash-stop model makes completeness
+// the interesting axis.
+package fd
+
+import (
+	"polystyrene/internal/sim"
+	"polystyrene/internal/xrand"
+)
+
+// Detector answers liveness queries. Failed reports whether, in the
+// observer's current knowledge, the target node has crashed.
+type Detector interface {
+	Failed(e *sim.Engine, observer, target sim.NodeID) bool
+}
+
+// Perfect reports crashes immediately and accurately: it simply consults
+// the engine's ground truth. This matches the published experiments.
+type Perfect struct{}
+
+var _ Detector = Perfect{}
+
+// Failed implements Detector.
+func (Perfect) Failed(e *sim.Engine, _, target sim.NodeID) bool {
+	return !e.Alive(target)
+}
+
+// Delayed reports a crash only after it has been observable for Delay
+// rounds, modelling heartbeat timeouts. With Delay == 0 it behaves like
+// Perfect.
+type Delayed struct {
+	// Delay is the number of rounds between a crash becoming visible and
+	// the detector reporting it.
+	Delay int
+
+	deathRound map[sim.NodeID]int
+}
+
+var _ Detector = (*Delayed)(nil)
+
+// NewDelayed returns a detector with the given detection delay in rounds.
+func NewDelayed(delay int) *Delayed {
+	if delay < 0 {
+		delay = 0
+	}
+	return &Delayed{Delay: delay, deathRound: make(map[sim.NodeID]int)}
+}
+
+// Failed implements Detector.
+func (d *Delayed) Failed(e *sim.Engine, _, target sim.NodeID) bool {
+	if e.Alive(target) {
+		return false
+	}
+	first, ok := d.deathRound[target]
+	if !ok {
+		first = e.Round()
+		d.deathRound[target] = first
+	}
+	return e.Round() >= first+d.Delay
+}
+
+// Probabilistic lets every observer discover each crash independently: a
+// query against a crashed node succeeds with probability P, and once an
+// observer has detected a crash the answer stays positive (strong
+// completeness in expectation after 1/P queries).
+type Probabilistic struct {
+	// P is the per-query detection probability, in (0, 1].
+	P float64
+
+	rng      *xrand.Rand
+	detected map[pair]bool
+}
+
+type pair struct{ observer, target sim.NodeID }
+
+var _ Detector = (*Probabilistic)(nil)
+
+// NewProbabilistic returns a probabilistic detector with per-query
+// detection probability p, drawing randomness from rng.
+func NewProbabilistic(p float64, rng *xrand.Rand) *Probabilistic {
+	if p <= 0 || p > 1 {
+		panic("fd: NewProbabilistic requires p in (0,1]")
+	}
+	return &Probabilistic{P: p, rng: rng, detected: make(map[pair]bool)}
+}
+
+// Failed implements Detector.
+func (d *Probabilistic) Failed(e *sim.Engine, observer, target sim.NodeID) bool {
+	if e.Alive(target) {
+		return false
+	}
+	k := pair{observer, target}
+	if d.detected[k] {
+		return true
+	}
+	if d.rng.Bool(d.P) {
+		d.detected[k] = true
+		return true
+	}
+	return false
+}

@@ -1,0 +1,228 @@
+// Package kvstore implements a CAN-style key-value store on top of the
+// overlay — the storage application class the paper motivates Polystyrene
+// with (CAN, Pastry, PAST: "overlay nodes are used to map a virtual data
+// space, be it for routing, indexing or storage", Sec. I).
+//
+// Every key hashes to a point of the data space; the node whose virtual
+// position is closest to that point owns the key and serves reads. Each
+// entry is also replicated to R random nodes. A lightweight anti-entropy
+// step runs every round: replica holders check who currently owns each of
+// their entries and push missing entries to the owner, so ownership
+// follows the overlay as nodes crash or — under Polystyrene — migrate
+// across the shape.
+//
+// The store is where shape preservation pays off concretely: after a
+// regional catastrophe, key ownership under Polystyrene returns to nodes
+// sitting *near* the key's point, so request locality and load balance
+// recover; over a collapsed shape the same keys are owned by far-away
+// survivors forever.
+package kvstore
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"polystyrene/internal/sim"
+	"polystyrene/internal/space"
+)
+
+// DefaultReplicas is the number of replica holders per entry.
+const DefaultReplicas = 3
+
+// PositionFunc resolves the current virtual position of a node.
+type PositionFunc func(id sim.NodeID) space.Point
+
+// KeyMapper hashes a key to its home point in the data space.
+type KeyMapper func(key string) space.Point
+
+// TorusKeyMapper returns a KeyMapper hashing keys uniformly onto the given
+// torus using FNV-64.
+func TorusKeyMapper(t space.Torus) KeyMapper {
+	return func(key string) space.Point {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(key))
+		sum := h.Sum64()
+		p := make(space.Point, t.Dim())
+		for i := range p {
+			// 21 bits of hash per coordinate is ample for simulation.
+			bits := (sum >> (21 * uint(i))) & ((1 << 21) - 1)
+			p[i] = float64(bits) / (1 << 21) * t.Width(i)
+		}
+		return p
+	}
+}
+
+// Config parameterises the store. All reference fields are required.
+type Config struct {
+	// Space supplies the metric.
+	Space space.Space
+	// Position resolves node positions (the Polystyrene projection, or
+	// fixed positions for a baseline overlay).
+	Position PositionFunc
+	// Map hashes keys to points.
+	Map KeyMapper
+	// Replicas is R, the number of replica holders per entry
+	// (0 means DefaultReplicas).
+	Replicas int
+}
+
+// entry is one stored record.
+type entry struct {
+	key   string
+	point space.Point
+	value []byte
+}
+
+// Store is the storage layer. It implements sim.Protocol and is stacked
+// above the topology (and Polystyrene) layers.
+type Store struct {
+	cfg Config
+	// owned is each node's primary table; replicas is its replica table.
+	owned    []map[string]*entry
+	replicas []map[string]*entry
+}
+
+var _ sim.Protocol = (*Store)(nil)
+
+// New returns a Store with the given configuration.
+func New(cfg Config) (*Store, error) {
+	if cfg.Space == nil || cfg.Position == nil || cfg.Map == nil {
+		return nil, fmt.Errorf("kvstore: Space, Position and Map are required")
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = DefaultReplicas
+	}
+	return &Store{cfg: cfg}, nil
+}
+
+// MustNew is New but panics on configuration errors.
+func MustNew(cfg Config) *Store {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name implements sim.Protocol.
+func (s *Store) Name() string { return "kvstore" }
+
+// InitNode implements sim.Protocol. It is idempotent: re-initialising a
+// known node keeps its tables, so the store can also be driven from an
+// engine observer that sweeps all live nodes.
+func (s *Store) InitNode(_ *sim.Engine, id sim.NodeID) {
+	for len(s.owned) <= int(id) {
+		s.owned = append(s.owned, nil)
+		s.replicas = append(s.replicas, nil)
+	}
+	if s.owned[id] == nil {
+		s.owned[id] = make(map[string]*entry)
+		s.replicas[id] = make(map[string]*entry)
+	}
+}
+
+// Step implements sim.Protocol: anti-entropy re-homing. Each node checks
+// the entries it replicates; when the current owner of an entry's point
+// does not hold it (because the previous owner died, or ownership moved
+// with the reshaped overlay), the replica holder pushes it over.
+func (s *Store) Step(e *sim.Engine, id sim.NodeID) {
+	for key, en := range s.replicas[id] {
+		owner := s.Owner(e, en.point)
+		if owner == sim.None {
+			continue
+		}
+		if _, ok := s.owned[owner][key]; !ok {
+			s.owned[owner][key] = en
+			e.Charge(len(en.point) + len(en.value))
+		}
+	}
+	// Primary entries this node no longer owns are handed to the rightful
+	// owner directly (ownership moves whenever nodes crash or migrate
+	// across the shape); without this, a key whose replicas all died
+	// would strand at a node no lookup reaches.
+	for key, en := range s.owned[id] {
+		owner := s.Owner(e, en.point)
+		if owner == id || owner == sim.None {
+			continue
+		}
+		if _, ok := s.owned[owner][key]; !ok {
+			s.owned[owner][key] = en
+			e.Charge(len(en.point) + len(en.value))
+		}
+		delete(s.owned[id], key)
+	}
+}
+
+// Owner returns the live node whose position is closest to the point, or
+// sim.None when the system is empty.
+func (s *Store) Owner(e *sim.Engine, p space.Point) sim.NodeID {
+	best, bestD := sim.None, 0.0
+	for _, id := range e.LiveIDs() {
+		d := s.cfg.Space.Distance(s.cfg.Position(id), p)
+		if best == sim.None || d < bestD {
+			best, bestD = id, d
+		}
+	}
+	return best
+}
+
+// Put stores key=value at the current owner and replicates it to R random
+// live nodes. It returns the owner, or an error when the system is empty.
+func (s *Store) Put(e *sim.Engine, key string, value []byte) (sim.NodeID, error) {
+	point := s.cfg.Map(key)
+	owner := s.Owner(e, point)
+	if owner == sim.None {
+		return sim.None, fmt.Errorf("kvstore: no live nodes")
+	}
+	en := &entry{key: key, point: point, value: append([]byte(nil), value...)}
+	s.owned[owner][key] = en
+	e.Charge(len(point) + len(value))
+
+	placed := map[sim.NodeID]bool{owner: true}
+	for tries := 0; len(placed)-1 < s.cfg.Replicas && tries < 20*s.cfg.Replicas; tries++ {
+		r := e.RandomLive()
+		if r == sim.None || placed[r] {
+			continue
+		}
+		placed[r] = true
+		s.replicas[r][key] = en
+		e.Charge(len(point) + len(value))
+	}
+	return owner, nil
+}
+
+// Get fetches a key from its current owner. The boolean reports whether
+// the owner held the value (a miss can occur transiently between a crash
+// and the next anti-entropy round).
+func (s *Store) Get(e *sim.Engine, key string) ([]byte, bool) {
+	owner := s.Owner(e, s.cfg.Map(key))
+	if owner == sim.None {
+		return nil, false
+	}
+	en, ok := s.owned[owner][key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), en.value...), true
+}
+
+// OwnershipDistance returns how far the key's current owner sits from the
+// key's home point — the store-level analogue of the paper's homogeneity:
+// low values mean requests are served by nodes local to the key region.
+func (s *Store) OwnershipDistance(e *sim.Engine, key string) float64 {
+	point := s.cfg.Map(key)
+	owner := s.Owner(e, point)
+	if owner == sim.None {
+		return 0
+	}
+	return s.cfg.Space.Distance(s.cfg.Position(owner), point)
+}
+
+// Entries returns how many primary entries a node currently serves (its
+// storage load).
+func (s *Store) Entries(id sim.NodeID) int {
+	if int(id) >= len(s.owned) {
+		return 0
+	}
+	return len(s.owned[id])
+}

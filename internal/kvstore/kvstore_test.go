@@ -1,0 +1,211 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+
+	"polystyrene/internal/scenario"
+	"polystyrene/internal/sim"
+	"polystyrene/internal/space"
+)
+
+// testStore wires a Store above a scenario stack. The store is stepped by
+// the same engine as an extra layer via an observer (the scenario owns its
+// engine, so we hook rounds rather than rebuild the stack).
+type testStore struct {
+	sc    *scenario.Scenario
+	store *Store
+}
+
+func newTestStore(t *testing.T, seed uint64, poly bool) *testStore {
+	t.Helper()
+	sc := scenario.MustNew(scenario.Config{
+		Seed: seed, W: 20, H: 10, Polystyrene: poly, K: 4, SkipMetrics: true,
+	})
+	store := MustNew(Config{
+		Space:    sc.Space,
+		Position: func(id sim.NodeID) space.Point { return sc.System().Position(id) },
+		Map:      TorusKeyMapper(sc.Space),
+	})
+	for _, id := range sc.Engine.LiveIDs() {
+		store.InitNode(sc.Engine, id)
+	}
+	sc.Engine.Observe(func(e *sim.Engine, _ int) {
+		for _, id := range e.LiveIDs() {
+			store.InitNode(e, id) // idempotent; covers late joiners
+		}
+		for _, id := range e.LiveIDs() {
+			store.Step(e, id)
+		}
+	})
+	return &testStore{sc: sc, store: store}
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%04d", i)
+	}
+	return out
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestTorusKeyMapperDeterministicAndInRange(t *testing.T) {
+	tor := space.NewTorus(20, 10)
+	m := TorusKeyMapper(tor)
+	a, b := m("hello"), m("hello")
+	if !a.Equal(b) {
+		t.Fatal("mapper not deterministic")
+	}
+	for _, k := range keys(200) {
+		p := m(k)
+		if p[0] < 0 || p[0] >= 20 || p[1] < 0 || p[1] >= 10 {
+			t.Fatalf("key %q mapped out of range: %v", k, p)
+		}
+	}
+	if m("a").Equal(m("b")) {
+		t.Fatal("distinct keys mapped identically")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	ts := newTestStore(t, 1, true)
+	ts.sc.Run(10)
+	owner, err := ts.store.Put(ts.sc.Engine, "alpha", []byte("42"))
+	if err != nil || owner == sim.None {
+		t.Fatalf("put failed: %v", err)
+	}
+	got, ok := ts.store.Get(ts.sc.Engine, "alpha")
+	if !ok || string(got) != "42" {
+		t.Fatalf("get = %q, %v", got, ok)
+	}
+	if _, ok := ts.store.Get(ts.sc.Engine, "missing"); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	ts := newTestStore(t, 2, true)
+	ts.sc.Run(5)
+	val := []byte("mutable")
+	if _, err := ts.store.Put(ts.sc.Engine, "k", val); err != nil {
+		t.Fatal(err)
+	}
+	val[0] = 'X'
+	got, _ := ts.store.Get(ts.sc.Engine, "k")
+	if string(got) != "mutable" {
+		t.Fatal("stored value aliases caller's buffer")
+	}
+	got[0] = 'Y'
+	again, _ := ts.store.Get(ts.sc.Engine, "k")
+	if string(again) != "mutable" {
+		t.Fatal("returned value aliases stored buffer")
+	}
+}
+
+func TestOwnerIsClosestNode(t *testing.T) {
+	ts := newTestStore(t, 3, true)
+	ts.sc.Run(10)
+	for _, k := range keys(20) {
+		if d := ts.store.OwnershipDistance(ts.sc.Engine, k); d > 1.0 {
+			t.Fatalf("key %q owned at distance %v on an intact grid", k, d)
+		}
+	}
+}
+
+func TestEntriesSurviveOwnerCrash(t *testing.T) {
+	ts := newTestStore(t, 4, true)
+	ts.sc.Run(10)
+	owner, err := ts.store.Put(ts.sc.Engine, "precious", []byte("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.sc.Engine.Kill(owner)
+	ts.sc.Run(3) // anti-entropy re-homes from a replica
+	got, ok := ts.store.Get(ts.sc.Engine, "precious")
+	if !ok || string(got) != "data" {
+		t.Fatalf("entry lost after owner crash: %q %v", got, ok)
+	}
+}
+
+func TestRegionalCatastropheLocality(t *testing.T) {
+	// The application-level payoff of shape preservation: after the right
+	// half of the torus dies, key ownership distance recovers to ~grid
+	// scale under Polystyrene but stays ~quarter-torus under the baseline.
+	measure := func(poly bool) (worst float64, misses int) {
+		ts := newTestStore(t, 5, poly)
+		ts.sc.Run(10)
+		for _, k := range keys(100) {
+			if _, err := ts.store.Put(ts.sc.Engine, k, []byte(k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ts.sc.FailRightHalf()
+		ts.sc.Run(20)
+		for _, k := range keys(100) {
+			if _, ok := ts.store.Get(ts.sc.Engine, k); !ok {
+				misses++
+			}
+			if d := ts.store.OwnershipDistance(ts.sc.Engine, k); d > worst {
+				worst = d
+			}
+		}
+		return worst, misses
+	}
+	polyWorst, polyMisses := measure(true)
+	tmanWorst, tmanMisses := measure(false)
+	// Keys whose owner and all R=3 replicas died together are genuinely
+	// lost — expected fraction 0.5^4 ≈ 6%. (Polystyrene protects the
+	// *shape*; entry durability is the store's own replication.) Anything
+	// beyond that indicates broken re-homing.
+	if polyMisses > 15 || tmanMisses > 15 {
+		t.Fatalf("misses after re-homing: poly=%d tman=%d (expected ~6)", polyMisses, tmanMisses)
+	}
+	if polyWorst > 2.5 {
+		t.Errorf("Polystyrene worst ownership distance %v, want local (<2.5)", polyWorst)
+	}
+	if tmanWorst < 2*polyWorst {
+		t.Errorf("baseline (%v) should be far worse than Polystyrene (%v)", tmanWorst, polyWorst)
+	}
+}
+
+func TestLoadBalanceAfterRecovery(t *testing.T) {
+	ts := newTestStore(t, 6, true)
+	ts.sc.Run(10)
+	for _, k := range keys(200) {
+		if _, err := ts.store.Put(ts.sc.Engine, k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts.sc.FailRightHalf()
+	ts.sc.Run(20)
+	// 200 keys over ~100 survivors: no node should own a wildly
+	// disproportionate share once the shape is uniform again.
+	maxLoad := 0
+	for _, id := range ts.sc.Engine.LiveIDs() {
+		if n := ts.store.Entries(id); n > maxLoad {
+			maxLoad = n
+		}
+	}
+	if maxLoad > 20 {
+		t.Errorf("worst node owns %d of 200 keys after recovery", maxLoad)
+	}
+}
+
+func TestEntriesUnknownNode(t *testing.T) {
+	ts := newTestStore(t, 7, true)
+	if ts.store.Entries(9999) != 0 {
+		t.Fatal("unknown node has entries")
+	}
+}

@@ -1,0 +1,152 @@
+// Package metrics implements the five evaluation metrics of the paper
+// (Sec. IV-A) — proximity, homogeneity (with its reference value H and the
+// derived reshaping time), data points per node, message cost — plus the
+// reliability measure of Table II and the summary statistics (mean and 95%
+// confidence intervals) used to aggregate repeated experiments.
+package metrics
+
+import (
+	"math"
+
+	"polystyrene/internal/sim"
+	"polystyrene/internal/space"
+)
+
+// System is the read-only view of a running overlay that the metrics need.
+// Both configurations of the paper implement it: Polystyrene-over-T-Man,
+// and plain T-Man (where Guests(n) is defined as {n.pos} and ghosts are
+// counted as zero, exactly as in Sec. IV-A).
+type System interface {
+	// Space returns the metric data space.
+	Space() space.Space
+	// Live returns the IDs of live nodes.
+	Live() []sim.NodeID
+	// Position returns a live node's current virtual position.
+	Position(id sim.NodeID) space.Point
+	// Guests returns the data points a node currently hosts as primary.
+	Guests(id sim.NodeID) []space.Point
+	// NumGhosts returns the number of inactive replica points at a node.
+	NumGhosts(id sim.NodeID) int
+	// Neighbors returns the k closest overlay neighbours of a node.
+	Neighbors(id sim.NodeID, k int) []sim.NodeID
+}
+
+// Proximity is the paper's main topology-quality metric: the mean distance
+// between a node and its k closest overlay neighbours (k = 4 in the
+// evaluation). Lower is better; on a converged unit-step torus grid the
+// optimum is 1.0.
+func Proximity(sys System, k int) float64 {
+	s := sys.Space()
+	sum, count := 0.0, 0
+	for _, id := range sys.Live() {
+		pos := sys.Position(id)
+		for _, nb := range sys.Neighbors(id, k) {
+			sum += s.Distance(pos, sys.Position(nb))
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// Homogeneity measures how well the original shape is conserved: the mean,
+// over all original data points x, of the distance from x to the nearest
+// node that hosts x as a guest — or, when x has been lost, to the nearest
+// node of the whole network (the ĝuests⁻¹ fallback of Sec. IV-A). Lower is
+// better; 0 means every original point is hosted exactly in place.
+func Homogeneity(sys System, datapoints []space.Point) float64 {
+	live := sys.Live()
+	if len(live) == 0 || len(datapoints) == 0 {
+		return 0
+	}
+	s := sys.Space()
+
+	// guests⁻¹: map every hosted point key to its primary holders.
+	holders := make(map[string][]sim.NodeID)
+	for _, id := range live {
+		for _, g := range sys.Guests(id) {
+			k := g.Key()
+			holders[k] = append(holders[k], id)
+		}
+	}
+
+	sum := 0.0
+	for _, x := range datapoints {
+		hs := holders[x.Key()]
+		best := math.Inf(1)
+		if len(hs) > 0 {
+			for _, id := range hs {
+				if d := s.Distance(x, sys.Position(id)); d < best {
+					best = d
+				}
+			}
+		} else {
+			// Point lost: fall back to the nearest node overall.
+			for _, id := range live {
+				if d := s.Distance(x, sys.Position(id)); d < best {
+					best = d
+				}
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(datapoints))
+}
+
+// ReferenceHomogeneity returns H^N_A = (1/2)·sqrt(A/N), the paper's rough
+// upper bound on the homogeneity of an ideal distribution of N nodes over
+// a 2D surface of area A (Sec. IV-A). A topology counts as "reshaped" once
+// its measured homogeneity drops below this value.
+func ReferenceHomogeneity(area float64, nodes int) float64 {
+	if nodes <= 0 {
+		return math.Inf(1)
+	}
+	return 0.5 * math.Sqrt(area/float64(nodes))
+}
+
+// DataPointsPerNode is the paper's memory-overhead metric: the mean number
+// of data points (guests and ghosts alike) per live node. For plain T-Man
+// this is exactly 1.
+func DataPointsPerNode(sys System) float64 {
+	live := sys.Live()
+	if len(live) == 0 {
+		return 0
+	}
+	total := 0
+	for _, id := range live {
+		total += len(sys.Guests(id)) + sys.NumGhosts(id)
+	}
+	return float64(total) / float64(len(live))
+}
+
+// MessageCostPerNode returns the communication units charged in the given
+// round, averaged over live nodes, using the engine's meter.
+func MessageCostPerNode(e *sim.Engine, round int) float64 {
+	if e.NumLive() == 0 {
+		return 0
+	}
+	return float64(e.Meter().TotalRoundCost(round)) / float64(e.NumLive())
+}
+
+// Reliability is the Table II measure: the fraction of the original data
+// points still hosted (as a guest) by at least one live node.
+func Reliability(sys System, datapoints []space.Point) float64 {
+	if len(datapoints) == 0 {
+		return 1
+	}
+	hosted := make(map[string]bool)
+	for _, id := range sys.Live() {
+		for _, g := range sys.Guests(id) {
+			hosted[g.Key()] = true
+		}
+	}
+	surviving := 0
+	for _, x := range datapoints {
+		if hosted[x.Key()] {
+			surviving++
+		}
+	}
+	return float64(surviving) / float64(len(datapoints))
+}

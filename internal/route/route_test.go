@@ -1,0 +1,149 @@
+package route
+
+import (
+	"testing"
+
+	"polystyrene/internal/scenario"
+	"polystyrene/internal/sim"
+	"polystyrene/internal/space"
+)
+
+// routerFor builds a Router over a scenario's stack.
+func routerFor(sc *scenario.Scenario) *Router {
+	return &Router{
+		Space:    sc.Space,
+		Topology: sc.Topology(),
+		Position: func(id sim.NodeID) space.Point { return sc.System().Position(id) },
+	}
+}
+
+func converged(t *testing.T, seed uint64, poly bool) (*scenario.Scenario, *Router) {
+	t.Helper()
+	sc := scenario.MustNew(scenario.Config{
+		Seed: seed, W: 20, H: 10, Polystyrene: poly, K: 4, SkipMetrics: true,
+	})
+	sc.Run(15)
+	return sc, routerFor(sc)
+}
+
+func TestRouteReachesTarget(t *testing.T) {
+	sc, r := converged(t, 1, true)
+	res, err := r.Route(sc.Engine, 0, space.Point{10, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("route truncated on an intact grid")
+	}
+	// On a unit grid the greedy minimum is the node on the target cell.
+	if res.FinalDistance > 0.01 {
+		t.Fatalf("final distance %v, want ~0 on intact grid", res.FinalDistance)
+	}
+	if res.Hops == 0 {
+		t.Fatal("crossing half the torus should take hops")
+	}
+	if res.Dest == 0 {
+		t.Fatal("route went nowhere")
+	}
+	if len(res.Path) != res.Hops+1 {
+		t.Fatalf("path length %d vs hops %d", len(res.Path), res.Hops)
+	}
+}
+
+func TestRouteToOwnPosition(t *testing.T) {
+	sc, r := converged(t, 2, true)
+	pos := sc.System().Position(5)
+	res, err := r.Route(sc.Engine, 5, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hops != 0 || res.Dest != 5 {
+		t.Fatalf("routing to own position moved: %+v", res)
+	}
+}
+
+func TestRouteHopEfficiency(t *testing.T) {
+	// Greedy hops on the grid should be close to the Manhattan distance
+	// between source and target (each hop advances ~1 grid step).
+	sc, r := converged(t, 3, true)
+	res, err := r.Route(sc.Engine, 0, space.Point{8, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manhattan distance from (0,0) to (8,4) is 12; allow some slack for
+	// diagonal neighbours and imperfect views.
+	if res.Hops > 20 {
+		t.Fatalf("route took %d hops for a 12-step Manhattan path", res.Hops)
+	}
+}
+
+func TestRouteFromDeadNode(t *testing.T) {
+	sc, r := converged(t, 4, true)
+	sc.Engine.Kill(3)
+	if _, err := r.Route(sc.Engine, 3, space.Point{1, 1}); err == nil {
+		t.Fatal("routing from a dead node succeeded")
+	}
+}
+
+func TestRouteMaxHopsTruncation(t *testing.T) {
+	sc, r := converged(t, 5, true)
+	r.MaxHops = 1
+	res, err := r.Route(sc.Engine, 0, space.Point{10, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("1-hop budget should truncate a cross-torus route")
+	}
+	if res.Hops != 1 {
+		t.Fatalf("hops = %d, want 1", res.Hops)
+	}
+}
+
+func TestRoutingSurvivesCatastropheWithPolystyrene(t *testing.T) {
+	// The motivating experiment: routes into the crashed half. With
+	// Polystyrene the shape re-forms and greedy routing lands near every
+	// target; with plain T-Man the dead half stays empty and routes stall
+	// half a torus away.
+	probes := []space.Point{{15, 5}, {12, 2}, {18, 8}, {16, 1}, {13, 7}}
+	measure := func(poly bool) float64 {
+		sc, r := converged(t, 6, poly)
+		sc.FailRightHalf()
+		sc.Run(20)
+		src := sc.Engine.LiveIDs()[0]
+		st, err := r.Probe(sc.Engine, src, probes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Truncated > 0 {
+			t.Fatalf("poly=%v: %d routes truncated", poly, st.Truncated)
+		}
+		return st.MeanFinalDistance()
+	}
+	polyDist := measure(true)
+	tmanDist := measure(false)
+	if polyDist > 1.5 {
+		t.Errorf("Polystyrene routing mean final distance %v, want < 1.5", polyDist)
+	}
+	if tmanDist < 2*polyDist {
+		t.Errorf("T-Man (%v) should be far worse than Polystyrene (%v)", tmanDist, polyDist)
+	}
+}
+
+func TestProbeStats(t *testing.T) {
+	sc, r := converged(t, 7, true)
+	st, err := r.Probe(sc.Engine, 0, []space.Point{{1, 1}, {5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Routes != 2 {
+		t.Fatalf("routes = %d", st.Routes)
+	}
+	if st.MeanHops() < 0 || st.MeanFinalDistance() < 0 {
+		t.Fatal("negative stats")
+	}
+	var empty ProbeStats
+	if empty.MeanHops() != 0 || empty.MeanFinalDistance() != 0 {
+		t.Fatal("empty stats not zero")
+	}
+}

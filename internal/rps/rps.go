@@ -1,0 +1,242 @@
+// Package rps implements the peer-sampling service at the bottom of the
+// stack (Fig. 2 of the paper): a Cyclon-style gossip shuffle (Voulgaris,
+// Gavidia & van Steen, JNSM 2005) that provides every node with a
+// continuously refreshed random sample of the live network.
+//
+// Both layers above depend on it: T-Man seeds and refreshes its view with
+// random peers to guarantee convergence (Sec. II-B), and Polystyrene picks
+// its K backup nodes "as randomly as possible in the system ... using the
+// underlying peer-sampling layer" (Sec. III-D).
+//
+// Following the paper's accounting ("we ... do not include the peer
+// sampling protocol in our measurements", Sec. IV-A), this layer does not
+// charge the engine's cost meter.
+package rps
+
+import (
+	"polystyrene/internal/sim"
+)
+
+// DefaultViewSize is the Cyclon view size used when Config.ViewSize is 0.
+const DefaultViewSize = 20
+
+// DefaultShuffleLen is the number of descriptors exchanged per shuffle
+// when Config.ShuffleLen is 0.
+const DefaultShuffleLen = 10
+
+// Config parameterises the protocol.
+type Config struct {
+	// ViewSize is the maximum number of neighbours a node keeps.
+	ViewSize int
+	// ShuffleLen is the number of descriptors exchanged per shuffle.
+	ShuffleLen int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ViewSize <= 0 {
+		c.ViewSize = DefaultViewSize
+	}
+	if c.ShuffleLen <= 0 {
+		c.ShuffleLen = DefaultShuffleLen
+	}
+	if c.ShuffleLen > c.ViewSize {
+		c.ShuffleLen = c.ViewSize
+	}
+	return c
+}
+
+// entry is a view slot: a neighbour ID plus its gossip age.
+type entry struct {
+	id  sim.NodeID
+	age int
+}
+
+// Protocol is the peer-sampling layer. It implements sim.Protocol.
+type Protocol struct {
+	cfg   Config
+	views [][]entry
+}
+
+var _ sim.Protocol = (*Protocol)(nil)
+
+// New returns a peer-sampling protocol with the given configuration.
+func New(cfg Config) *Protocol {
+	return &Protocol{cfg: cfg.withDefaults()}
+}
+
+// Name implements sim.Protocol.
+func (p *Protocol) Name() string { return "rps" }
+
+// InitNode implements sim.Protocol: a joining node is bootstrapped with up
+// to ViewSize random live peers (this models the out-of-band introduction
+// every gossip system needs).
+func (p *Protocol) InitNode(e *sim.Engine, id sim.NodeID) {
+	for len(p.views) <= int(id) {
+		p.views = append(p.views, nil)
+	}
+	p.views[id] = p.bootstrapView(e, id)
+}
+
+func (p *Protocol) bootstrapView(e *sim.Engine, id sim.NodeID) []entry {
+	view := make([]entry, 0, p.cfg.ViewSize)
+	seen := map[sim.NodeID]bool{id: true}
+	// Sample without replacement from the live set via rejection; the
+	// join-time live set is usually much larger than the view.
+	for attempts := 0; len(view) < p.cfg.ViewSize && attempts < 20*p.cfg.ViewSize; attempts++ {
+		peer := e.RandomLive()
+		if peer == sim.None || seen[peer] {
+			continue
+		}
+		seen[peer] = true
+		view = append(view, entry{id: peer})
+	}
+	return view
+}
+
+// Step implements sim.Protocol: one Cyclon shuffle initiated by id.
+func (p *Protocol) Step(e *sim.Engine, id sim.NodeID) {
+	p.purgeDead(e, id)
+	view := p.views[id]
+	if len(view) == 0 {
+		p.views[id] = p.bootstrapView(e, id)
+		view = p.views[id]
+		if len(view) == 0 {
+			return // alone in the system
+		}
+	}
+
+	// Age all entries and pick the oldest as the shuffle partner; contacting
+	// the oldest entry is what lets Cyclon evict stale (likely dead) links.
+	oldest := 0
+	for i := range view {
+		view[i].age++
+		if view[i].age > view[oldest].age {
+			oldest = i
+		}
+	}
+	q := view[oldest].id
+	// Remove q from p's view; if the exchange succeeds q is replaced by
+	// fresh entries, and if q is dead the stale link is gone either way.
+	view[oldest] = view[len(view)-1]
+	p.views[id] = view[:len(view)-1]
+	if !e.Alive(q) {
+		return
+	}
+
+	p.purgeDead(e, q)
+	sentToQ := p.sampleForShuffle(e, id, q, p.cfg.ShuffleLen-1)
+	sentToQ = append(sentToQ, entry{id: id, age: 0}) // fresh self-descriptor
+	sentToP := p.sampleForShuffle(e, q, id, p.cfg.ShuffleLen)
+
+	p.merge(id, sentToP, sentToQ)
+	p.merge(q, sentToQ, sentToP)
+}
+
+// sampleForShuffle picks up to n random entries from owner's view,
+// excluding peer itself.
+func (p *Protocol) sampleForShuffle(e *sim.Engine, owner, peer sim.NodeID, n int) []entry {
+	view := p.views[owner]
+	candidates := make([]int, 0, len(view))
+	for i, en := range view {
+		if en.id != peer {
+			candidates = append(candidates, i)
+		}
+	}
+	if n > len(candidates) {
+		n = len(candidates)
+	}
+	out := make([]entry, 0, n+1)
+	for _, idx := range e.Rand().Sample(len(candidates), n) {
+		out = append(out, view[candidates[idx]])
+	}
+	return out
+}
+
+// merge installs received entries into owner's view, Cyclon style: skip
+// self and duplicates, fill free slots first, then overwrite the slots of
+// the entries owner just sent away.
+func (p *Protocol) merge(owner sim.NodeID, received, sent []entry) {
+	view := p.views[owner]
+	present := make(map[sim.NodeID]bool, len(view)+1)
+	present[owner] = true
+	for _, en := range view {
+		present[en.id] = true
+	}
+	sentIdx := 0
+	sentSet := make(map[sim.NodeID]bool, len(sent))
+	for _, en := range sent {
+		sentSet[en.id] = true
+	}
+	for _, en := range received {
+		if present[en.id] {
+			continue
+		}
+		present[en.id] = true
+		if len(view) < p.cfg.ViewSize {
+			view = append(view, en)
+			continue
+		}
+		// Replace one of the entries we sent away, if any remain.
+		replaced := false
+		for ; sentIdx < len(view); sentIdx++ {
+			if sentSet[view[sentIdx].id] {
+				view[sentIdx] = en
+				sentIdx++
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			break // view full and nothing left to replace
+		}
+	}
+	p.views[owner] = view
+}
+
+// purgeDead removes entries for crashed nodes from id's view.
+func (p *Protocol) purgeDead(e *sim.Engine, id sim.NodeID) {
+	view := p.views[id]
+	kept := view[:0]
+	for _, en := range view {
+		if e.Alive(en.id) {
+			kept = append(kept, en)
+		}
+	}
+	p.views[id] = kept
+}
+
+// View returns a copy of id's current view (live and stale entries alike).
+func (p *Protocol) View(id sim.NodeID) []sim.NodeID {
+	view := p.views[id]
+	out := make([]sim.NodeID, len(view))
+	for i, en := range view {
+		out[i] = en.id
+	}
+	return out
+}
+
+// RandomPeer returns a uniformly random live peer from id's view, or
+// sim.None when the view holds no live peer. Layers above use this as
+// their source of fresh random nodes.
+func (p *Protocol) RandomPeer(e *sim.Engine, id sim.NodeID) sim.NodeID {
+	p.purgeDead(e, id)
+	view := p.views[id]
+	if len(view) == 0 {
+		return sim.None
+	}
+	return view[e.Rand().Intn(len(view))].id
+}
+
+// RandomPeers returns up to n distinct live peers from id's view.
+func (p *Protocol) RandomPeers(e *sim.Engine, id sim.NodeID, n int) []sim.NodeID {
+	p.purgeDead(e, id)
+	view := p.views[id]
+	if n > len(view) {
+		n = len(view)
+	}
+	out := make([]sim.NodeID, 0, n)
+	for _, idx := range e.Rand().Sample(len(view), n) {
+		out = append(out, view[idx].id)
+	}
+	return out
+}

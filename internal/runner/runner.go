@@ -1,0 +1,70 @@
+// Package runner executes independent simulation jobs with bounded
+// parallelism. Repeated experiments (Table II repetitions, Fig. 10 sweep
+// cells) are embarrassingly parallel — every run owns its engine and PRNG —
+// so on multi-core machines the harness fans them out across goroutines.
+//
+// Determinism is preserved by construction: each job writes only to its
+// own index of a pre-sized result slice, and callers fold results in index
+// order, so the output is identical regardless of scheduling.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Map runs fn(0), ..., fn(n-1) using at most parallelism concurrent
+// goroutines (0 means GOMAXPROCS) and waits for all of them. All jobs are
+// always executed; if any fail, Map returns the error of the
+// lowest-indexed failing job.
+func Map(parallelism, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if fn == nil {
+		return fmt.Errorf("runner: nil job function")
+	}
+
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = safeCall(fn, i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// safeCall converts a panicking job into an error so one bad experiment
+// cannot take the whole sweep down.
+func safeCall(fn func(int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: job %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}

@@ -1,0 +1,105 @@
+package runner
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapRunsAllJobs(t *testing.T) {
+	const n = 50
+	var ran [n]int32
+	err := Map(4, n, func(i int) error {
+		atomic.AddInt32(&ran[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range ran {
+		if c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	if err := Map(4, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapNilFn(t *testing.T) {
+	if err := Map(1, 3, nil); err == nil {
+		t.Fatal("nil fn accepted")
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := Map(8, 10, func(i int) error {
+		switch i {
+		case 3:
+			return errB
+		case 1:
+			return errA
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("got %v, want lowest-indexed error %v", err, errA)
+	}
+}
+
+func TestMapAllJobsRunDespiteError(t *testing.T) {
+	var ran int32
+	_ = Map(2, 20, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if ran != 20 {
+		t.Fatalf("only %d of 20 jobs ran after an error", ran)
+	}
+}
+
+func TestMapRecoversPanics(t *testing.T) {
+	err := Map(2, 5, func(i int) error {
+		if i == 2 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic not converted to error")
+	}
+}
+
+func TestMapDefaultsParallelism(t *testing.T) {
+	var ran int32
+	if err := Map(0, 7, func(int) error { atomic.AddInt32(&ran, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 7 {
+		t.Fatalf("ran = %d", ran)
+	}
+}
+
+func TestMapSequentialDeterministicFold(t *testing.T) {
+	// The documented usage pattern: jobs write to their own slot; folding
+	// in index order is deterministic regardless of scheduling.
+	results := make([]int, 100)
+	if err := Map(8, 100, func(i int) error { results[i] = i * i; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, v := range results {
+		sum += v
+	}
+	if sum != 328350 {
+		t.Fatalf("sum = %d", sum)
+	}
+}

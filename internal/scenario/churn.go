@@ -1,0 +1,88 @@
+package scenario
+
+import "fmt"
+
+// ChurnConfig drives a sustained-churn experiment: every round a fraction
+// of the live population crashes and (optionally) the same number of
+// fresh, empty nodes joins. The paper evaluates one catastrophic event;
+// sustained churn is the regime its conclusion points at for future work
+// ("the loss and reinjection of resources"), and this harness measures how
+// much churn the shape survives.
+type ChurnConfig struct {
+	// Rate is the per-round fraction of live nodes that crash (e.g. 0.01
+	// = 1% churn per round).
+	Rate float64
+	// Replace controls whether each crash is matched by a fresh joiner.
+	Replace bool
+	// Rounds is the churn period length.
+	Rounds int
+}
+
+// ChurnOutcome summarises a churn run.
+type ChurnOutcome struct {
+	// Crashed and Joined count churn events over the run.
+	Crashed, Joined int
+	// FinalHomogeneity and FinalReference are measured after a settling
+	// period with churn stopped.
+	FinalHomogeneity float64
+	FinalReference   float64
+	// Reliability is the surviving fraction of original data points.
+	Reliability float64
+	// ShapeHeld reports FinalHomogeneity < FinalReference.
+	ShapeHeld bool
+}
+
+// RunChurn converges the system, applies sustained random churn, lets it
+// settle for settleRounds, and reports the outcome.
+func RunChurn(cfg Config, churn ChurnConfig, convergeRounds, settleRounds int) (ChurnOutcome, error) {
+	if churn.Rate < 0 || churn.Rate >= 1 {
+		return ChurnOutcome{}, fmt.Errorf("scenario: churn rate %v out of [0,1)", churn.Rate)
+	}
+	cfg.SkipMetrics = true
+	sc, err := New(cfg)
+	if err != nil {
+		return ChurnOutcome{}, err
+	}
+	sc.Run(convergeRounds)
+
+	var out ChurnOutcome
+	rng := sc.Engine.Rand()
+	for round := 0; round < churn.Rounds; round++ {
+		kills := int(float64(sc.Engine.NumLive()) * churn.Rate)
+		live := sc.Engine.LiveIDs()
+		for _, idx := range rng.Sample(len(live), kills) {
+			sc.Engine.Kill(live[idx])
+			out.Crashed++
+		}
+		if churn.Replace && kills > 0 {
+			sc.Reinject(kills)
+			out.Joined += kills
+		}
+		sc.Run(1)
+	}
+	sc.Run(settleRounds)
+
+	out.FinalHomogeneity = sc.Homogeneity()
+	out.FinalReference = sc.ReferenceHomogeneity()
+	out.Reliability = sc.Reliability()
+	out.ShapeHeld = out.FinalHomogeneity < out.FinalReference
+	return out, nil
+}
+
+// ChurnSweep measures shape survival across churn rates, one outcome per
+// rate, using the parallel runner.
+func ChurnSweep(base Config, rates []float64, churnRounds, convergeRounds, settleRounds int) ([]ChurnOutcome, error) {
+	outs := make([]ChurnOutcome, len(rates))
+	for i, rate := range rates {
+		cfg := base
+		cfg.Seed = base.Seed + uint64(i)
+		cfg.Polystyrene = true
+		out, err := RunChurn(cfg, ChurnConfig{Rate: rate, Replace: true, Rounds: churnRounds},
+			convergeRounds, settleRounds)
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = out
+	}
+	return outs, nil
+}

@@ -1,0 +1,243 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"polystyrene/internal/metrics"
+	"polystyrene/internal/runner"
+	"polystyrene/internal/sim"
+	"polystyrene/internal/space"
+)
+
+// Phases fixes the round boundaries of the paper's evaluation scenario.
+type Phases struct {
+	// FailAt is the round of the catastrophic failure (paper: 20).
+	FailAt int
+	// ReinjectAt is the round fresh nodes are injected (paper: 100).
+	ReinjectAt int
+	// End is the total number of rounds (paper: 200).
+	End int
+}
+
+// PaperPhases returns the boundaries used in the paper (Sec. IV-A).
+func PaperPhases() Phases { return Phases{FailAt: 20, ReinjectAt: 100, End: 200} }
+
+// Validate checks phase ordering.
+func (p Phases) Validate() error {
+	if !(0 < p.FailAt && p.FailAt <= p.ReinjectAt && p.ReinjectAt <= p.End) {
+		return fmt.Errorf("scenario: invalid phases %+v (need 0 < FailAt <= ReinjectAt <= End)", p)
+	}
+	return nil
+}
+
+// RunPaper executes the full 3-phase scenario and returns the scenario in
+// its final state together with its per-round metric record.
+func RunPaper(cfg Config, phases Phases) (*Scenario, *Result, error) {
+	if err := phases.Validate(); err != nil {
+		return nil, nil, err
+	}
+	sc, err := New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc.Run(phases.FailAt)
+	killed := sc.FailRightHalf()
+	sc.Run(phases.ReinjectAt - phases.FailAt)
+	sc.Reinject(killed)
+	sc.Run(phases.End - phases.ReinjectAt)
+	return sc, sc.Result(), nil
+}
+
+// ReshapingOutcome is one observation for Table II.
+type ReshapingOutcome struct {
+	// Rounds is the reshaping time: rounds from the failure until the
+	// homogeneity first drops below the reference H of the surviving
+	// population. Equal to MaxRounds+1 when never reached.
+	Rounds int
+	// Reached reports whether the homogeneity threshold was met.
+	Reached bool
+	// Reliability is the surviving fraction of original data points,
+	// measured when the threshold is reached (or at the round budget).
+	Reliability float64
+}
+
+// MeasureReshaping converges a fresh system for convergeRounds, triggers
+// the half-torus catastrophe, and counts the rounds needed for the
+// homogeneity to drop below the reference value (Sec. IV-A).
+func MeasureReshaping(cfg Config, convergeRounds, maxRounds int) (ReshapingOutcome, error) {
+	cfg.SkipMetrics = true
+	sc, err := New(cfg)
+	if err != nil {
+		return ReshapingOutcome{}, err
+	}
+	sc.Run(convergeRounds)
+	sc.FailRightHalf()
+	ref := sc.ReferenceHomogeneity()
+	rounds, reached := sc.Engine.RunUntil(maxRounds, func(*sim.Engine, int) bool {
+		return sc.Homogeneity() < ref
+	})
+	if !reached {
+		rounds = maxRounds + 1
+	}
+	return ReshapingOutcome{
+		Rounds:      rounds,
+		Reached:     reached,
+		Reliability: sc.Reliability(),
+	}, nil
+}
+
+// TableIIRow aggregates repeated reshaping measurements for one K.
+type TableIIRow struct {
+	K               int
+	ReshapingTime   metrics.Accumulator
+	ReliabilityPct  metrics.Accumulator
+	FailedToReshape int
+}
+
+// TableII reproduces Table II: reshaping time and reliability on the
+// configured torus for each replication factor, averaged over reps runs.
+// Repetitions run concurrently (each owns its engine); results are folded
+// in repetition order so the output is deterministic.
+func TableII(base Config, ks []int, reps, convergeRounds, maxRounds int) ([]TableIIRow, error) {
+	rows := make([]TableIIRow, len(ks))
+	outcomes := make([]ReshapingOutcome, len(ks)*reps)
+	err := runner.Map(0, len(outcomes), func(job int) error {
+		k := ks[job/reps]
+		rep := job % reps
+		cfg := base
+		cfg.Polystyrene = true
+		cfg.K = k
+		cfg.Seed = base.Seed + uint64(1000*k+rep)
+		out, err := MeasureReshaping(cfg, convergeRounds, maxRounds)
+		if err != nil {
+			return err
+		}
+		outcomes[job] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range ks {
+		rows[i].K = k
+		for rep := 0; rep < reps; rep++ {
+			out := outcomes[i*reps+rep]
+			if !out.Reached {
+				rows[i].FailedToReshape++
+			}
+			rows[i].ReshapingTime.Add(float64(out.Rounds))
+			rows[i].ReliabilityPct.Add(100 * out.Reliability)
+		}
+	}
+	return rows, nil
+}
+
+// SweepPoint is one (network size, configuration) cell of Fig. 10.
+type SweepPoint struct {
+	Nodes         int
+	Label         string
+	ReshapingTime metrics.Accumulator
+}
+
+// GridSize is a torus grid dimension pair for sweeps.
+type GridSize struct{ W, H int }
+
+// PaperGridSizes returns the 2:1-aspect grids spanning the size axis of
+// Fig. 10 (up to the paper's 51 200-node 320x160 torus).
+func PaperGridSizes(maxNodes int) []GridSize {
+	all := []GridSize{
+		{16, 8}, {20, 10}, {40, 20}, {80, 40}, {160, 80}, {320, 160},
+	}
+	out := make([]GridSize, 0, len(all))
+	for _, g := range all {
+		if g.W*g.H <= maxNodes {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// SizeSweep measures reshaping time across network sizes for a family of
+// configurations (Fig. 10a varies K; Fig. 10b varies the split function).
+// variants maps a label to a mutation of the base config. Cells run
+// concurrently; results fold in deterministic order.
+func SizeSweep(base Config, sizes []GridSize, variants map[string]func(Config) Config,
+	reps, convergeRounds, maxRounds int) (map[string][]SweepPoint, error) {
+
+	labels := make([]string, 0, len(variants))
+	for label := range variants {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+
+	type cell struct {
+		label string
+		size  GridSize
+		rep   int
+	}
+	cells := make([]cell, 0, len(labels)*len(sizes)*reps)
+	for _, label := range labels {
+		for _, size := range sizes {
+			for rep := 0; rep < reps; rep++ {
+				cells = append(cells, cell{label: label, size: size, rep: rep})
+			}
+		}
+	}
+
+	rounds := make([]float64, len(cells))
+	err := runner.Map(0, len(cells), func(i int) error {
+		c := cells[i]
+		cfg := variants[c.label](base)
+		cfg.Polystyrene = true
+		cfg.W, cfg.H = c.size.W, c.size.H
+		cfg.Seed = base.Seed + uint64(c.size.W*c.size.H+c.rep)
+		res, err := MeasureReshaping(cfg, convergeRounds, maxRounds)
+		if err != nil {
+			return err
+		}
+		rounds[i] = float64(res.Rounds)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make(map[string][]SweepPoint, len(variants))
+	i := 0
+	for _, label := range labels {
+		points := make([]SweepPoint, 0, len(sizes))
+		for _, size := range sizes {
+			pt := SweepPoint{Nodes: size.W * size.H, Label: label}
+			for rep := 0; rep < reps; rep++ {
+				pt.ReshapingTime.Add(rounds[i])
+				i++
+			}
+			points = append(points, pt)
+		}
+		out[label] = points
+	}
+	return out, nil
+}
+
+// NodeSnapshot is the rendered state of one node (Figs. 1, 8, 9).
+type NodeSnapshot struct {
+	ID        sim.NodeID
+	Pos       space.Point
+	Neighbors []sim.NodeID
+}
+
+// Snapshot captures every live node's position and its NeighborK closest
+// overlay neighbours for rendering.
+func (sc *Scenario) Snapshot() []NodeSnapshot {
+	live := sc.Engine.LiveIDs()
+	out := make([]NodeSnapshot, 0, len(live))
+	for _, id := range live {
+		out = append(out, NodeSnapshot{
+			ID:        id,
+			Pos:       sc.position(id).Clone(),
+			Neighbors: sc.topo.Neighbors(id, sc.Cfg.NeighborK),
+		})
+	}
+	return out
+}

@@ -1,0 +1,338 @@
+// Package sim provides the cycle-driven simulation engine the evaluation
+// runs on. It is our substitute for PeerSim (Montresor & Jelasity, P2P'09),
+// which the paper used: protocols are layered, the engine steps every live
+// node once per layer per round (in a fresh random order), events such as
+// catastrophic failures and node reinjection are scheduled at specific
+// rounds, and a cost meter records the communication units each layer
+// spends, using the paper's unit model (1 node ID = 1 coordinate = 1 unit).
+//
+// The engine is deliberately sequential: gossip exchanges are pair-wise
+// atomic by construction ("q should not be interacting with anyone else
+// than p while the exchange occurs", Sec. III-F), and sequential execution
+// with a seeded PRNG makes every experiment exactly reproducible.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"polystyrene/internal/xrand"
+)
+
+// NodeID identifies a node for the lifetime of a simulation. IDs are dense
+// indices assigned in creation order and are never reused.
+type NodeID int
+
+// None is the sentinel for "no node".
+const None NodeID = -1
+
+// Protocol is one layer of the simulated stack (e.g. peer sampling,
+// topology construction, Polystyrene). The engine owns scheduling; each
+// protocol owns its per-node state, indexed by NodeID.
+type Protocol interface {
+	// Name identifies the layer in cost reports.
+	Name() string
+	// InitNode is invoked exactly once per node, when the node joins
+	// (including nodes reinjected mid-run). Layers are initialised in
+	// stack order, bottom first.
+	InitNode(e *Engine, id NodeID)
+	// Step executes one round of the protocol on behalf of node id. It is
+	// only called for live nodes.
+	Step(e *Engine, id NodeID)
+}
+
+// Observer is called after every completed round, before any events of the
+// next round fire.
+type Observer func(e *Engine, round int)
+
+// Event is a scheduled state change (crash, reinjection, ...). Events for
+// round r run before the protocols step in round r.
+type Event func(e *Engine)
+
+// Engine drives a layered gossip simulation.
+type Engine struct {
+	rng       *xrand.Rand
+	layers    []Protocol
+	alive     []bool
+	liveCount int
+	round     int
+
+	events    map[int][]Event
+	observers []Observer
+
+	meter        *Meter
+	currentLayer string
+}
+
+// New returns an engine seeded with seed and running the given layers,
+// bottom layer first.
+func New(seed uint64, layers ...Protocol) *Engine {
+	return &Engine{
+		rng:    xrand.New(seed),
+		layers: layers,
+		events: make(map[int][]Event),
+		meter:  newMeter(),
+	}
+}
+
+// Rand exposes the engine's deterministic random source. Protocols should
+// draw all randomness from it (or from generators Split from it) so that a
+// run is fully determined by the engine seed.
+func (e *Engine) Rand() *xrand.Rand { return e.rng }
+
+// Round returns the index of the round currently executing (or about to).
+func (e *Engine) Round() int { return e.round }
+
+// AddNode creates a new live node and initialises every layer for it. It
+// returns the new node's ID.
+func (e *Engine) AddNode() NodeID {
+	id := NodeID(len(e.alive))
+	e.alive = append(e.alive, true)
+	e.liveCount++
+	for _, l := range e.layers {
+		prev := e.currentLayer
+		e.currentLayer = l.Name()
+		l.InitNode(e, id)
+		e.currentLayer = prev
+	}
+	return id
+}
+
+// AddNodes creates n nodes and returns their IDs.
+func (e *Engine) AddNodes(n int) []NodeID {
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = e.AddNode()
+	}
+	return ids
+}
+
+// NumNodes returns how many nodes have ever been created.
+func (e *Engine) NumNodes() int { return len(e.alive) }
+
+// NumLive returns how many nodes are currently alive.
+func (e *Engine) NumLive() int { return e.liveCount }
+
+// Alive reports whether id is a live node. Unknown IDs are not alive.
+func (e *Engine) Alive(id NodeID) bool {
+	return id >= 0 && int(id) < len(e.alive) && e.alive[id]
+}
+
+// Kill crashes node id (crash-stop: it never recovers). Killing a dead or
+// unknown node is a no-op, mirroring the idempotence of real crashes.
+func (e *Engine) Kill(id NodeID) {
+	if e.Alive(id) {
+		e.alive[id] = false
+		e.liveCount--
+	}
+}
+
+// KillAll crashes every node in ids.
+func (e *Engine) KillAll(ids []NodeID) {
+	for _, id := range ids {
+		e.Kill(id)
+	}
+}
+
+// LiveIDs returns the IDs of all live nodes in ascending order.
+func (e *Engine) LiveIDs() []NodeID {
+	ids := make([]NodeID, 0, e.liveCount)
+	for i, a := range e.alive {
+		if a {
+			ids = append(ids, NodeID(i))
+		}
+	}
+	return ids
+}
+
+// RandomLive returns a uniformly random live node, or None when the system
+// is empty. It is O(1) in the common case and falls back to a scan when
+// most nodes are dead.
+func (e *Engine) RandomLive() NodeID {
+	if e.liveCount == 0 {
+		return None
+	}
+	// Rejection sampling: expected iterations = total/live.
+	for tries := 0; tries < 64; tries++ {
+		id := NodeID(e.rng.Intn(len(e.alive)))
+		if e.alive[id] {
+			return id
+		}
+	}
+	live := e.LiveIDs()
+	return live[e.rng.Intn(len(live))]
+}
+
+// ScheduleAt registers fn to run at the start of the given round. Multiple
+// events for one round run in registration order. Scheduling in the past
+// returns an error rather than silently dropping the event.
+func (e *Engine) ScheduleAt(round int, fn Event) error {
+	if round < e.round {
+		return fmt.Errorf("sim: cannot schedule event at past round %d (current %d)", round, e.round)
+	}
+	e.events[round] = append(e.events[round], fn)
+	return nil
+}
+
+// Observe registers an observer called after every round.
+func (e *Engine) Observe(o Observer) {
+	e.observers = append(e.observers, o)
+}
+
+// Meter returns the engine's communication cost meter.
+func (e *Engine) Meter() *Meter { return e.meter }
+
+// Charge records cost units spent by the protocol currently stepping.
+// Calling Charge outside a protocol step or init attributes the cost to
+// the pseudo-layer "external".
+func (e *Engine) Charge(units int) {
+	layer := e.currentLayer
+	if layer == "" {
+		layer = "external"
+	}
+	e.meter.charge(layer, e.round, units)
+}
+
+// RunRounds executes n rounds. Each round: fire the round's events, then
+// step each layer bottom-up, visiting live nodes in a fresh random order,
+// then invoke observers.
+func (e *Engine) RunRounds(n int) {
+	for i := 0; i < n; i++ {
+		e.runOne()
+	}
+}
+
+// RunUntil executes rounds until stop returns true (checked after each
+// round's observers) or maxRounds have elapsed. It returns the number of
+// rounds executed and whether stop was satisfied.
+func (e *Engine) RunUntil(maxRounds int, stop func(e *Engine, round int) bool) (int, bool) {
+	for i := 0; i < maxRounds; i++ {
+		round := e.round
+		e.runOne()
+		if stop(e, round) {
+			return i + 1, true
+		}
+	}
+	return maxRounds, false
+}
+
+func (e *Engine) runOne() {
+	for _, ev := range e.events[e.round] {
+		ev(e)
+	}
+	delete(e.events, e.round)
+
+	for _, layer := range e.layers {
+		e.currentLayer = layer.Name()
+		for _, id := range e.shuffledLive() {
+			// A node may die from another node's step (not in this model,
+			// but guard for protocol extensions that kill peers).
+			if e.alive[id] {
+				layer.Step(e, id)
+			}
+		}
+		e.currentLayer = ""
+	}
+
+	for _, o := range e.observers {
+		o(e, e.round)
+	}
+	e.round++
+}
+
+// shuffledLive returns the live node IDs in a fresh random order.
+func (e *Engine) shuffledLive() []NodeID {
+	ids := e.LiveIDs()
+	e.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	return ids
+}
+
+// Layer returns the layer with the given name, or nil. Useful for tests
+// and tools that need to reach a specific protocol in an assembled stack.
+func (e *Engine) Layer(name string) Protocol {
+	for _, l := range e.layers {
+		if l.Name() == name {
+			return l
+		}
+	}
+	return nil
+}
+
+// LayerNames returns the names of all layers, bottom first.
+func (e *Engine) LayerNames() []string {
+	names := make([]string, len(e.layers))
+	for i, l := range e.layers {
+		names[i] = l.Name()
+	}
+	return names
+}
+
+// Meter accumulates communication cost in abstract units, per layer and per
+// round, following the paper's accounting model (Sec. IV-A): a node ID and
+// a single coordinate both cost 1 unit, so a node descriptor (ID + 2D
+// position) costs 3 units and a bare 2D data point costs 2.
+type Meter struct {
+	perLayerRound map[string]map[int]int
+}
+
+func newMeter() *Meter {
+	return &Meter{perLayerRound: make(map[string]map[int]int)}
+}
+
+func (m *Meter) charge(layer string, round, units int) {
+	lr, ok := m.perLayerRound[layer]
+	if !ok {
+		lr = make(map[int]int)
+		m.perLayerRound[layer] = lr
+	}
+	lr[round] += units
+}
+
+// RoundCost returns the units layer spent in the given round.
+func (m *Meter) RoundCost(layer string, round int) int {
+	return m.perLayerRound[layer][round]
+}
+
+// TotalRoundCost returns the units all layers spent in the given round.
+func (m *Meter) TotalRoundCost(round int) int {
+	total := 0
+	for _, lr := range m.perLayerRound {
+		total += lr[round]
+	}
+	return total
+}
+
+// TotalCost returns the units layer has spent across all rounds.
+func (m *Meter) TotalCost(layer string) int {
+	total := 0
+	for _, units := range m.perLayerRound[layer] {
+		total += units
+	}
+	return total
+}
+
+// Layers returns the names of all layers that have been charged, sorted.
+func (m *Meter) Layers() []string {
+	names := make([]string, 0, len(m.perLayerRound))
+	for name := range m.perLayerRound {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Unit costs of the paper's communication model.
+const (
+	// CostID is the cost of transmitting one node identifier.
+	CostID = 1
+	// CostCoord is the cost of transmitting one coordinate.
+	CostCoord = 1
+)
+
+// DescriptorCost returns the cost of a node descriptor (ID + position) in
+// a space of the given dimension: 3 units for the 2D torus.
+func DescriptorCost(dim int) int { return CostID + dim*CostCoord }
+
+// PointCost returns the cost of a bare data point of the given dimension:
+// 2 units on the 2D torus.
+func PointCost(dim int) int { return dim * CostCoord }

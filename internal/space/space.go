@@ -1,0 +1,277 @@
+// Package space defines the metric data spaces that Polystyrene shapes live
+// in, together with the geometric primitives the protocol needs: distances,
+// medoids, centroids and diameters.
+//
+// The paper (Sec. III-A) only requires the data space to be metric: "the
+// only constraint on this data space is that a distance can be computed
+// between any two data points". We therefore expose a minimal Space
+// interface and several implementations, including the modular 2D torus
+// used throughout the paper's evaluation, in which scalar division is ill
+// defined and the medoid must be used instead of the centroid (Sec. III-C).
+package space
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Point is a position in a data space. Points are treated as immutable
+// values: protocols copy them at ownership boundaries and never mutate a
+// point in place after it has been published.
+type Point []float64
+
+// Clone returns an independent copy of p.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q are the same point (same dimension and
+// exactly equal coordinates). Data points in this system originate from a
+// fixed generator and are never arithmetically perturbed, so exact float
+// comparison is the correct notion of identity.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact string usable as a map key identifying the point.
+func (p Point) Key() string {
+	var b strings.Builder
+	b.Grow(8 * len(p))
+	var buf [8]byte
+	for _, c := range p {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(c))
+		b.Write(buf[:])
+	}
+	return b.String()
+}
+
+// String renders the point for logs and test failures, e.g. "(3, 4.5)".
+func (p Point) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range p {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(strconv.FormatFloat(c, 'g', -1, 64))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Space is a metric space over Points of a fixed dimension.
+//
+// Implementations must satisfy the metric axioms (up to floating point):
+// non-negativity, identity of indiscernibles, symmetry, and the triangle
+// inequality. The property tests in this package check these on samples.
+type Space interface {
+	// Dim returns the dimensionality points must have.
+	Dim() int
+	// Distance returns the metric distance between a and b. It panics if
+	// the points have the wrong dimension, as that is a programming error.
+	Distance(a, b Point) float64
+}
+
+// checkDim panics when a point does not match the space dimension.
+func checkDim(dim int, p Point) {
+	if len(p) != dim {
+		panic(fmt.Sprintf("space: point %v has dimension %d, space wants %d", p, len(p), dim))
+	}
+}
+
+// Euclidean is the standard Euclidean metric over R^dim.
+type Euclidean struct {
+	dim int
+}
+
+var _ Space = Euclidean{}
+
+// NewEuclidean returns the Euclidean space of the given dimension.
+func NewEuclidean(dim int) Euclidean {
+	if dim <= 0 {
+		panic("space: NewEuclidean requires dim > 0")
+	}
+	return Euclidean{dim: dim}
+}
+
+// Dim implements Space.
+func (e Euclidean) Dim() int { return e.dim }
+
+// Distance implements Space.
+func (e Euclidean) Distance(a, b Point) float64 {
+	checkDim(e.dim, a)
+	checkDim(e.dim, b)
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// Manhattan is the L1 metric over R^dim. It is not used by the paper's
+// evaluation but demonstrates the protocol's metric-space generality and is
+// exercised by examples and tests.
+type Manhattan struct {
+	dim int
+}
+
+var _ Space = Manhattan{}
+
+// NewManhattan returns the L1 space of the given dimension.
+func NewManhattan(dim int) Manhattan {
+	if dim <= 0 {
+		panic("space: NewManhattan requires dim > 0")
+	}
+	return Manhattan{dim: dim}
+}
+
+// Dim implements Space.
+func (m Manhattan) Dim() int { return m.dim }
+
+// Distance implements Space.
+func (m Manhattan) Distance(a, b Point) float64 {
+	checkDim(m.dim, a)
+	checkDim(m.dim, b)
+	sum := 0.0
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum
+}
+
+// Torus is a flat torus: each coordinate i lives on a circle of
+// circumference Widths[i] and distances wrap around. This is the "logical
+// torus" of the paper's evaluation (an 80x40 grid with step 1 lives on a
+// Torus with widths {80, 40}).
+type Torus struct {
+	widths []float64
+}
+
+var _ Space = Torus{}
+
+// NewTorus returns a torus with the given per-dimension circumferences.
+func NewTorus(widths ...float64) Torus {
+	if len(widths) == 0 {
+		panic("space: NewTorus requires at least one width")
+	}
+	ws := make([]float64, len(widths))
+	for i, w := range widths {
+		if w <= 0 {
+			panic("space: NewTorus widths must be positive")
+		}
+		ws[i] = w
+	}
+	return Torus{widths: ws}
+}
+
+// NewRing returns a one-dimensional torus (a ring) of the given
+// circumference — the key space of ring overlays such as Chord or Pastry.
+func NewRing(circumference float64) Torus {
+	return NewTorus(circumference)
+}
+
+// Dim implements Space.
+func (t Torus) Dim() int { return len(t.widths) }
+
+// Width returns the circumference of dimension i.
+func (t Torus) Width(i int) float64 { return t.widths[i] }
+
+// Distance implements Space. Along each dimension the distance is the
+// shorter of the two arcs between the coordinates.
+func (t Torus) Distance(a, b Point) float64 {
+	checkDim(len(t.widths), a)
+	checkDim(len(t.widths), b)
+	sum := 0.0
+	for i := range a {
+		d := wrapDelta(a[i]-b[i], t.widths[i])
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// wrapDelta returns the magnitude of the shorter arc for a signed
+// difference on a circle of circumference w.
+func wrapDelta(d, w float64) float64 {
+	d = math.Mod(d, w)
+	if d < 0 {
+		d += w
+	}
+	if d > w/2 {
+		d = w - d
+	}
+	return d
+}
+
+// Wrap returns the canonical representative of p with every coordinate in
+// [0, Widths[i]).
+func (t Torus) Wrap(p Point) Point {
+	checkDim(len(t.widths), p)
+	q := make(Point, len(p))
+	for i, c := range p {
+		c = math.Mod(c, t.widths[i])
+		if c < 0 {
+			c += t.widths[i]
+		}
+		q[i] = c
+	}
+	return q
+}
+
+// Area returns the total content (product of widths) of the torus; the
+// reference homogeneity H of the paper is defined in terms of this area.
+func (t Torus) Area() float64 {
+	a := 1.0
+	for _, w := range t.widths {
+		a *= w
+	}
+	return a
+}
+
+// Hamming treats points as vectors of symbols (compared exactly) and
+// returns the number of differing coordinates. With 0/1 coordinates this is
+// the set-difference metric over item sets of a fixed universe, matching
+// the paper's remark that positions can be "a list of items" from "the
+// power-set of items" (Sec. III-A): profile spaces for recommendation.
+type Hamming struct {
+	dim int
+}
+
+var _ Space = Hamming{}
+
+// NewHamming returns the Hamming space over vectors of the given length.
+func NewHamming(dim int) Hamming {
+	if dim <= 0 {
+		panic("space: NewHamming requires dim > 0")
+	}
+	return Hamming{dim: dim}
+}
+
+// Dim implements Space.
+func (h Hamming) Dim() int { return h.dim }
+
+// Distance implements Space.
+func (h Hamming) Distance(a, b Point) float64 {
+	checkDim(h.dim, a)
+	checkDim(h.dim, b)
+	n := 0.0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,292 @@
+// Package tman implements the T-Man decentralized topology-construction
+// protocol (Jelasity, Montresor & Babaoglu, Computer Networks 2009), the
+// middle layer of the paper's stack and also its evaluation baseline.
+//
+// T-Man greedily organises nodes so that each ends up linked to its
+// closest peers in a metric space: every round a node picks an exchange
+// partner among its ψ closest neighbours, the two swap the m descriptors
+// most useful to each other, and both keep the closest entries up to a
+// view cap. Fresh random peers from the peer-sampling layer are folded in
+// to guarantee convergence from any starting state (paper Sec. II-B).
+//
+// A key property required by Polystyrene (Sec. II-C) is that T-Man does
+// not own node positions: it reads them through a PositionFunc. With plain
+// T-Man the function returns the node's fixed original data point; with
+// Polystyrene on top it returns the medoid of the node's guests, which
+// changes as data points migrate — this is how nodes "move" on the shape.
+//
+// Message-cost accounting follows the paper (Sec. IV-A): a descriptor
+// (ID + position) costs 1 + dim units. Because positions are dynamic,
+// T-Man also refreshes the coordinates of every view entry each round
+// ("T-Man must update their positions in its view in each round, causing
+// most of the traffic", Sec. IV-B), at dim units per entry.
+package tman
+
+import (
+	"fmt"
+	"sort"
+
+	"polystyrene/internal/rps"
+	"polystyrene/internal/sim"
+	"polystyrene/internal/space"
+)
+
+// Defaults from the paper's experimental setting (Sec. IV-A).
+const (
+	// DefaultViewCap bounds the T-Man view ("capped to 100 peers").
+	DefaultViewCap = 100
+	// DefaultMsgSize is m, the number of descriptors per message.
+	DefaultMsgSize = 20
+	// DefaultPsi is ψ, the number of closest neighbours the exchange
+	// partner is drawn from.
+	DefaultPsi = 5
+	// DefaultInitDegree is the number of random peers a node's view is
+	// seeded with ("initialized with 10 random neighbors from RPS").
+	DefaultInitDegree = 10
+)
+
+// PositionFunc reports the current virtual position of a node. It must
+// return a valid point for every live node.
+type PositionFunc func(id sim.NodeID) space.Point
+
+// Config parameterises the protocol. Space, Sampler and Position are
+// required; zero-valued numeric fields take the paper's defaults.
+type Config struct {
+	// Space is the metric space positions live in.
+	Space space.Space
+	// Sampler is the underlying peer-sampling layer.
+	Sampler *rps.Protocol
+	// Position resolves a node's current virtual position.
+	Position PositionFunc
+	// ViewCap bounds the view size.
+	ViewCap int
+	// MsgSize is the number of descriptors per exchanged message (m).
+	MsgSize int
+	// Psi is the partner-selection window (ψ).
+	Psi int
+	// InitDegree seeds a joining node's view with this many random peers.
+	InitDegree int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Space == nil {
+		return c, fmt.Errorf("tman: Config.Space is required")
+	}
+	if c.Sampler == nil {
+		return c, fmt.Errorf("tman: Config.Sampler is required")
+	}
+	if c.Position == nil {
+		return c, fmt.Errorf("tman: Config.Position is required")
+	}
+	if c.ViewCap <= 0 {
+		c.ViewCap = DefaultViewCap
+	}
+	if c.MsgSize <= 0 {
+		c.MsgSize = DefaultMsgSize
+	}
+	if c.Psi <= 0 {
+		c.Psi = DefaultPsi
+	}
+	if c.InitDegree <= 0 {
+		c.InitDegree = DefaultInitDegree
+	}
+	return c, nil
+}
+
+// Protocol is the T-Man layer. It implements sim.Protocol.
+type Protocol struct {
+	cfg   Config
+	views [][]sim.NodeID
+}
+
+var _ sim.Protocol = (*Protocol)(nil)
+
+// New returns a T-Man layer with the given configuration.
+func New(cfg Config) (*Protocol, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Protocol{cfg: cfg}, nil
+}
+
+// MustNew is New but panics on configuration errors; intended for tests
+// and examples where the configuration is statically known to be valid.
+func MustNew(cfg Config) *Protocol {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name implements sim.Protocol.
+func (p *Protocol) Name() string { return "tman" }
+
+// InitNode implements sim.Protocol, seeding the view with random peers.
+func (p *Protocol) InitNode(e *sim.Engine, id sim.NodeID) {
+	for len(p.views) <= int(id) {
+		p.views = append(p.views, nil)
+	}
+	p.views[id] = p.cfg.Sampler.RandomPeers(e, id, p.cfg.InitDegree)
+}
+
+// Step implements sim.Protocol: one T-Man gossip exchange initiated by id.
+func (p *Protocol) Step(e *sim.Engine, id sim.NodeID) {
+	p.purgeDead(e, id)
+	// Refresh stale coordinates of the whole view: positions move every
+	// round under Polystyrene, and the paper attributes most communication
+	// traffic to these per-round position updates.
+	e.Charge(len(p.views[id]) * sim.PointCost(p.cfg.Space.Dim()))
+
+	q := p.selectPartner(e, id)
+	if q == sim.None {
+		return
+	}
+	p.purgeDead(e, q)
+
+	// Each side sends the m descriptors most useful to the other, drawn
+	// from its view plus its own fresh descriptor.
+	bufForQ := p.buildBuffer(id, p.pos(q))
+	bufForP := p.buildBuffer(q, p.pos(id))
+	descCost := sim.DescriptorCost(p.cfg.Space.Dim())
+	e.Charge((len(bufForQ) + len(bufForP)) * descCost)
+
+	p.merge(e, id, bufForP)
+	p.merge(e, q, bufForQ)
+}
+
+func (p *Protocol) pos(id sim.NodeID) space.Point { return p.cfg.Position(id) }
+
+// selectPartner draws the exchange partner uniformly from the ψ closest
+// live view entries, augmented with one random peer from the sampling
+// layer (which guarantees convergence and re-connects isolated nodes).
+func (p *Protocol) selectPartner(e *sim.Engine, id sim.NodeID) sim.NodeID {
+	candidates := p.Neighbors(id, p.cfg.Psi)
+	if r := p.cfg.Sampler.RandomPeer(e, id); r != sim.None && r != id {
+		dup := false
+		for _, c := range candidates {
+			if c == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			candidates = append(candidates, r)
+		}
+	}
+	if len(candidates) == 0 {
+		return sim.None
+	}
+	return candidates[e.Rand().Intn(len(candidates))]
+}
+
+// buildBuffer selects up to m descriptors from owner's view plus owner
+// itself, ranked by proximity to the receiver's position target.
+func (p *Protocol) buildBuffer(owner sim.NodeID, target space.Point) []sim.NodeID {
+	view := p.views[owner]
+	cand := make([]sim.NodeID, 0, len(view)+1)
+	cand = append(cand, owner)
+	cand = append(cand, view...)
+	return p.closestTo(cand, target, p.cfg.MsgSize)
+}
+
+// closestTo returns the up-to-k IDs of cand whose positions are closest to
+// target, ordered by increasing distance. Distances are evaluated once per
+// candidate (the hot path of the whole simulator).
+func (p *Protocol) closestTo(cand []sim.NodeID, target space.Point, k int) []sim.NodeID {
+	s := p.cfg.Space
+	dists := make([]float64, len(cand))
+	for i, c := range cand {
+		dists[i] = s.Distance(p.pos(c), target)
+	}
+	idx := make([]int, len(cand))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return dists[idx[a]] < dists[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]sim.NodeID, k)
+	for i := 0; i < k; i++ {
+		out[i] = cand[idx[i]]
+	}
+	return out
+}
+
+// merge folds received descriptors into owner's view and keeps the
+// entries closest to owner's position, up to the view cap.
+func (p *Protocol) merge(e *sim.Engine, owner sim.NodeID, received []sim.NodeID) {
+	view := p.views[owner]
+	present := make(map[sim.NodeID]bool, len(view)+1)
+	present[owner] = true
+	for _, v := range view {
+		present[v] = true
+	}
+	for _, r := range received {
+		if !present[r] && e.Alive(r) {
+			present[r] = true
+			view = append(view, r)
+		}
+	}
+	if len(view) > p.cfg.ViewCap {
+		view = p.closestTo(view, p.pos(owner), p.cfg.ViewCap)
+	}
+	p.views[owner] = view
+}
+
+// purgeDead removes crashed nodes from id's view; if the view empties out
+// it is re-seeded from the sampling layer (healing after failures).
+func (p *Protocol) purgeDead(e *sim.Engine, id sim.NodeID) {
+	view := p.views[id]
+	kept := view[:0]
+	for _, v := range view {
+		if e.Alive(v) {
+			kept = append(kept, v)
+		}
+	}
+	p.views[id] = kept
+	if len(kept) == 0 {
+		p.views[id] = p.cfg.Sampler.RandomPeers(e, id, p.cfg.InitDegree)
+	}
+}
+
+// Neighbors returns the k closest live view entries of id, ordered by
+// increasing distance to id's current position. This is what the layer
+// above consumes (Polystyrene migration uses ψ, the evaluation metrics
+// use k = 4).
+func (p *Protocol) Neighbors(id sim.NodeID, k int) []sim.NodeID {
+	if int(id) >= len(p.views) || k <= 0 {
+		return nil
+	}
+	view := p.views[id]
+	positions := make([]space.Point, len(view))
+	for i, v := range view {
+		positions[i] = p.pos(v)
+	}
+	idx := space.KNearest(p.cfg.Space, p.pos(id), positions, k)
+	out := make([]sim.NodeID, len(idx))
+	for i, j := range idx {
+		out[i] = view[j]
+	}
+	return out
+}
+
+// ViewSize returns the current view size of id (test/metrics helper).
+func (p *Protocol) ViewSize(id sim.NodeID) int {
+	if int(id) >= len(p.views) {
+		return 0
+	}
+	return len(p.views[id])
+}
+
+// View returns a copy of id's raw view.
+func (p *Protocol) View(id sim.NodeID) []sim.NodeID {
+	if int(id) >= len(p.views) {
+		return nil
+	}
+	out := make([]sim.NodeID, len(p.views[id]))
+	copy(out, p.views[id])
+	return out
+}

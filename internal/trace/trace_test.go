@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableBasics(t *testing.T) {
+	tb := NewTable()
+	if err := tb.AddColumn("round", []float64{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddColumn("homogeneity", []float64{5, 1, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 3 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	names := tb.Names()
+	if len(names) != 2 || names[0] != "round" {
+		t.Fatalf("names = %v", names)
+	}
+	col := tb.Column("homogeneity")
+	if col[2] != 0.5 {
+		t.Fatalf("column = %v", col)
+	}
+	// Mutating the returned slice must not affect the table.
+	col[0] = 99
+	if tb.Column("homogeneity")[0] != 5 {
+		t.Fatal("Column aliases internal storage")
+	}
+	if tb.Column("nope") != nil {
+		t.Fatal("missing column should be nil")
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	tb := NewTable()
+	if err := tb.AddColumn("", nil); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := tb.AddColumn("a,b", nil); err == nil {
+		t.Fatal("comma in name accepted")
+	}
+	if err := tb.AddColumn("x", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddColumn("x", []float64{1, 2}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := tb.AddColumn("y", []float64{1}); err == nil {
+		t.Fatal("ragged column accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := NewTable()
+	_ = tb.AddColumn("round", []float64{0, 1, 2})
+	_ = tb.AddColumn("h", []float64{5.25, 0.61, 0.035})
+	var buf strings.Builder
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows() != 3 {
+		t.Fatalf("round-trip rows = %d", back.Rows())
+	}
+	for i, want := range []float64{5.25, 0.61, 0.035} {
+		if got := back.Column("h")[i]; got != want {
+			t.Fatalf("round-trip h[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		if len(a) != len(b) {
+			if len(a) > len(b) {
+				a = a[:len(b)]
+			} else {
+				b = b[:len(a)]
+			}
+		}
+		tb := NewTable()
+		if err := tb.AddColumn("a", a); err != nil {
+			return false
+		}
+		if err := tb.AddColumn("b", b); err != nil {
+			return false
+		}
+		var buf strings.Builder
+		if err := tb.WriteCSV(&buf); err != nil {
+			return false
+		}
+		back, err := ReadCSV(strings.NewReader(buf.String()))
+		if err != nil {
+			return false
+		}
+		ra, rb := back.Column("a"), back.Column("b")
+		for i := range a {
+			// NaN never round-trips equal; exclude it.
+			if a[i] != a[i] || b[i] != b[i] {
+				return true
+			}
+			if ra[i] != a[i] || rb[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadCSVSkipsComments(t *testing.T) {
+	in := "# a comment\nx,y\n1,2\n# mid comment\n3,4\n"
+	tb, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 2 || tb.Column("y")[1] != 4 {
+		t.Fatalf("parsed %d rows: %v", tb.Rows(), tb.Column("y"))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                // empty
+		"x,y\n1\n",        // ragged
+		"x,y\n1,banana\n", // non-numeric
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadCSV(%q) succeeded", in)
+		}
+	}
+}
+
+func TestGnuplotScript(t *testing.T) {
+	var buf strings.Builder
+	err := GnuplotScript(&buf, "fig6a.csv", "Homogeneity", "Rounds", "h", "round",
+		[]string{"K2", "K4", "K8", "TMan"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"set title \"Homogeneity\"", "plot ", "\"K8\"", "with lines"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("script missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "logscale") {
+		t.Fatal("logscale emitted without logX")
+	}
+
+	buf.Reset()
+	if err := GnuplotScript(&buf, "f.csv", "t", "x", "y", "nodes", []string{"K4"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "set logscale x") {
+		t.Fatal("logX not honoured")
+	}
+	if err := GnuplotScript(&buf, "f.csv", "t", "x", "y", "nodes", nil, false); err == nil {
+		t.Fatal("no y columns accepted")
+	}
+}
+
+func TestMarkdownTable(t *testing.T) {
+	var buf strings.Builder
+	err := MarkdownTable(&buf, []string{"K", "reshaping"}, [][]any{
+		{2, 5.0}, {4, 6.96}, {8, 9.08},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "| K | reshaping |") || !strings.Contains(out, "| 4 | 6.96 |") {
+		t.Fatalf("markdown:\n%s", out)
+	}
+	if err := MarkdownTable(&buf, nil, nil); err == nil {
+		t.Fatal("empty headers accepted")
+	}
+	if err := MarkdownTable(&buf, []string{"a"}, [][]any{{1, 2}}); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	minV, maxV, mean := Summarize([]float64{3, 1, 2})
+	if minV != 1 || maxV != 3 || mean != 2 {
+		t.Fatalf("Summarize = %v %v %v", minV, maxV, mean)
+	}
+	if a, b, c := Summarize(nil); a != 0 || b != 0 || c != 0 {
+		t.Fatal("empty Summarize not zero")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Fatalf("keys = %v", keys)
+	}
+}

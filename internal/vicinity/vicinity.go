@@ -1,0 +1,294 @@
+// Package vicinity implements the Vicinity topology-construction protocol
+// (Voulgaris & van Steen, "Epidemic-style management of semantic overlays
+// for content-based searching", Euro-Par 2005) — the second of the
+// protocols the paper names as hosts for the Polystyrene layer ("T-Man,
+// Vicinity, Gossple", Fig. 3).
+//
+// Vicinity differs from T-Man in how it gossips:
+//
+//   - the exchange partner is the *oldest* entry of the view (as in
+//     Cyclon), not a random pick among the ψ closest — ageing guarantees
+//     every link is eventually refreshed and stale links die;
+//   - each side sends its whole view (plus itself, capped at the message
+//     budget), not a buffer tailored to the receiver;
+//   - the view is a small fixed-size set of the closest known peers, and
+//     fresh randomness flows in from the peer-sampling layer every round.
+//
+// Like T-Man here, node positions are resolved through a PositionFunc so
+// Polystyrene's projection can move nodes around the shape. The package
+// satisfies core.Topology and charges the engine's meter with the same
+// unit cost model (descriptor = ID + position).
+package vicinity
+
+import (
+	"fmt"
+	"sort"
+
+	"polystyrene/internal/rps"
+	"polystyrene/internal/sim"
+	"polystyrene/internal/space"
+)
+
+// Defaults follow the Vicinity paper's small-view spirit; the view is
+// deliberately smaller than T-Man's cap because every entry is shipped on
+// every exchange.
+const (
+	// DefaultViewSize is the number of closest peers a node keeps.
+	DefaultViewSize = 16
+	// DefaultMsgSize caps the descriptors per exchanged message.
+	DefaultMsgSize = 16
+	// DefaultRandomMix is how many random peers from the sampling layer
+	// are folded into each selection round.
+	DefaultRandomMix = 2
+)
+
+// PositionFunc resolves a node's current virtual position.
+type PositionFunc func(id sim.NodeID) space.Point
+
+// Config parameterises the protocol. Space, Sampler and Position are
+// required.
+type Config struct {
+	// Space is the metric space positions live in.
+	Space space.Space
+	// Sampler is the peer-sampling layer below.
+	Sampler *rps.Protocol
+	// Position resolves current node positions.
+	Position PositionFunc
+	// ViewSize bounds the view.
+	ViewSize int
+	// MsgSize caps descriptors per message.
+	MsgSize int
+	// RandomMix is the number of random peers blended in per round.
+	RandomMix int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Space == nil {
+		return c, fmt.Errorf("vicinity: Config.Space is required")
+	}
+	if c.Sampler == nil {
+		return c, fmt.Errorf("vicinity: Config.Sampler is required")
+	}
+	if c.Position == nil {
+		return c, fmt.Errorf("vicinity: Config.Position is required")
+	}
+	if c.ViewSize <= 0 {
+		c.ViewSize = DefaultViewSize
+	}
+	if c.MsgSize <= 0 {
+		c.MsgSize = DefaultMsgSize
+	}
+	if c.RandomMix <= 0 {
+		c.RandomMix = DefaultRandomMix
+	}
+	return c, nil
+}
+
+// entry is a view slot: a peer and the age of the link.
+type entry struct {
+	id  sim.NodeID
+	age int
+}
+
+// Protocol is the Vicinity layer. It implements sim.Protocol and
+// core.Topology.
+type Protocol struct {
+	cfg   Config
+	views [][]entry
+}
+
+var _ sim.Protocol = (*Protocol)(nil)
+
+// New returns a Vicinity layer with the given configuration.
+func New(cfg Config) (*Protocol, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Protocol{cfg: cfg}, nil
+}
+
+// MustNew is New but panics on configuration errors.
+func MustNew(cfg Config) *Protocol {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name implements sim.Protocol.
+func (p *Protocol) Name() string { return "vicinity" }
+
+// InitNode implements sim.Protocol: seed with random peers.
+func (p *Protocol) InitNode(e *sim.Engine, id sim.NodeID) {
+	for len(p.views) <= int(id) {
+		p.views = append(p.views, nil)
+	}
+	peers := p.cfg.Sampler.RandomPeers(e, id, p.cfg.ViewSize/2)
+	view := make([]entry, len(peers))
+	for i, peer := range peers {
+		view[i] = entry{id: peer}
+	}
+	p.views[id] = view
+}
+
+// Step implements sim.Protocol: one Vicinity exchange initiated by id.
+func (p *Protocol) Step(e *sim.Engine, id sim.NodeID) {
+	p.purgeDead(e, id)
+	view := p.views[id]
+
+	// Blend fresh randomness from the sampling layer into the candidate
+	// pool — Vicinity's lower Cyclon feed, which guarantees convergence.
+	for _, r := range p.cfg.Sampler.RandomPeers(e, id, p.cfg.RandomMix) {
+		if r != id && !p.contains(view, r) {
+			view = append(view, entry{id: r})
+		}
+	}
+	p.views[id] = view
+	if len(view) == 0 {
+		return
+	}
+
+	// Age links and gossip with the oldest one.
+	oldest := 0
+	for i := range view {
+		view[i].age++
+		if view[i].age > view[oldest].age {
+			oldest = i
+		}
+	}
+	q := view[oldest].id
+	if !e.Alive(q) {
+		view[oldest] = view[len(view)-1]
+		p.views[id] = view[:len(view)-1]
+		return
+	}
+	view[oldest].age = 0 // refreshed by this exchange
+	p.purgeDead(e, q)
+
+	// Symmetric exchange of full views (plus self), capped at MsgSize.
+	sentToQ := p.descriptorsFor(id, q)
+	sentToP := p.descriptorsFor(q, id)
+	e.Charge((len(sentToQ) + len(sentToP)) * sim.DescriptorCost(p.cfg.Space.Dim()))
+
+	p.merge(e, id, sentToP)
+	p.merge(e, q, sentToQ)
+}
+
+// descriptorsFor returns owner's view plus itself, excluding the receiver,
+// capped at MsgSize.
+func (p *Protocol) descriptorsFor(owner, receiver sim.NodeID) []sim.NodeID {
+	view := p.views[owner]
+	out := make([]sim.NodeID, 0, len(view)+1)
+	out = append(out, owner)
+	for _, en := range view {
+		if en.id != receiver {
+			out = append(out, en.id)
+		}
+	}
+	if len(out) > p.cfg.MsgSize {
+		out = out[:p.cfg.MsgSize]
+	}
+	return out
+}
+
+// merge folds received descriptors into owner's view, keeping the
+// ViewSize entries closest to owner's current position. Ages of surviving
+// entries are preserved; new entries start at age 0.
+func (p *Protocol) merge(e *sim.Engine, owner sim.NodeID, received []sim.NodeID) {
+	view := p.views[owner]
+	present := make(map[sim.NodeID]bool, len(view)+1)
+	present[owner] = true
+	for _, en := range view {
+		present[en.id] = true
+	}
+	for _, r := range received {
+		if !present[r] && e.Alive(r) {
+			present[r] = true
+			view = append(view, entry{id: r})
+		}
+	}
+	if len(view) > p.cfg.ViewSize {
+		ownerPos := p.cfg.Position(owner)
+		dists := make([]float64, len(view))
+		for i, en := range view {
+			dists[i] = p.cfg.Space.Distance(p.cfg.Position(en.id), ownerPos)
+		}
+		idx := make([]int, len(view))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return dists[idx[a]] < dists[idx[b]] })
+		kept := make([]entry, p.cfg.ViewSize)
+		for i := 0; i < p.cfg.ViewSize; i++ {
+			kept[i] = view[idx[i]]
+		}
+		view = kept
+	}
+	p.views[owner] = view
+}
+
+func (p *Protocol) contains(view []entry, id sim.NodeID) bool {
+	for _, en := range view {
+		if en.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// purgeDead drops crashed peers from id's view and re-seeds an emptied
+// view from the sampling layer.
+func (p *Protocol) purgeDead(e *sim.Engine, id sim.NodeID) {
+	view := p.views[id]
+	kept := view[:0]
+	for _, en := range view {
+		if e.Alive(en.id) {
+			kept = append(kept, en)
+		}
+	}
+	p.views[id] = kept
+	if len(kept) == 0 {
+		p.InitNode(e, id)
+	}
+}
+
+// Neighbors implements core.Topology: the k closest live view entries,
+// ordered by increasing distance to id's current position.
+func (p *Protocol) Neighbors(id sim.NodeID, k int) []sim.NodeID {
+	if int(id) >= len(p.views) || k <= 0 {
+		return nil
+	}
+	view := p.views[id]
+	positions := make([]space.Point, len(view))
+	for i, en := range view {
+		positions[i] = p.cfg.Position(en.id)
+	}
+	idx := space.KNearest(p.cfg.Space, p.cfg.Position(id), positions, k)
+	out := make([]sim.NodeID, len(idx))
+	for i, j := range idx {
+		out[i] = view[j].id
+	}
+	return out
+}
+
+// ViewSize returns id's current view size.
+func (p *Protocol) ViewSize(id sim.NodeID) int {
+	if int(id) >= len(p.views) {
+		return 0
+	}
+	return len(p.views[id])
+}
+
+// View returns a copy of id's raw view.
+func (p *Protocol) View(id sim.NodeID) []sim.NodeID {
+	if int(id) >= len(p.views) {
+		return nil
+	}
+	out := make([]sim.NodeID, len(p.views[id]))
+	for i, en := range p.views[id] {
+		out[i] = en.id
+	}
+	return out
+}

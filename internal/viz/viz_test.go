@@ -1,0 +1,121 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"polystyrene/internal/scenario"
+	"polystyrene/internal/sim"
+	"polystyrene/internal/space"
+)
+
+func testSnapshot(t *testing.T) (space.Torus, []scenario.NodeSnapshot, *scenario.Scenario) {
+	t.Helper()
+	sc := scenario.MustNew(scenario.Config{Seed: 1, W: 16, H: 8, Polystyrene: true, SkipMetrics: true})
+	sc.Run(10)
+	return sc.Space, sc.Snapshot(), sc
+}
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	tor, snap, _ := testSnapshot(t)
+	var b strings.Builder
+	if err := WriteSVG(&b, tor, snap, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	svg := b.String()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not a well-formed SVG document")
+	}
+	if got := strings.Count(svg, "<circle"); got != len(snap) {
+		t.Fatalf("SVG has %d circles, want %d", got, len(snap))
+	}
+	if !strings.Contains(svg, "<line") {
+		t.Fatal("SVG has no edges")
+	}
+}
+
+func TestSVGEdgesDrawnOnce(t *testing.T) {
+	tor := space.NewTorus(16, 8)
+	// Two mutually neighbouring nodes produce exactly one edge.
+	snap := []scenario.NodeSnapshot{
+		{ID: 0, Pos: space.Point{1, 1}, Neighbors: []sim.NodeID{1}},
+		{ID: 1, Pos: space.Point{2, 1}, Neighbors: []sim.NodeID{0}},
+	}
+	var b strings.Builder
+	if err := WriteSVG(&b, tor, snap, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), "<line"); got != 1 {
+		t.Fatalf("edges drawn %d times, want 1", got)
+	}
+}
+
+func TestASCIIDensityUniform(t *testing.T) {
+	tor, snap, _ := testSnapshot(t)
+	out := ASCIIDensity(tor, snap, 16, 8)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("density map has %d rows, want 8", len(lines))
+	}
+	for _, line := range lines {
+		if len(line) != 16 {
+			t.Fatalf("row width %d, want 16", len(line))
+		}
+	}
+	// A converged 16x8 grid with 128 nodes has every cell occupied.
+	if strings.Contains(out, " ") {
+		t.Log(out)
+		t.Error("converged grid density map has empty cells")
+	}
+}
+
+func TestASCIIDensityEdgeCases(t *testing.T) {
+	tor := space.NewTorus(8, 8)
+	if got := ASCIIDensity(tor, nil, 0, 4); got != "" {
+		t.Fatalf("degenerate grid returned %q", got)
+	}
+	// Points exactly on the far border must clamp into the last cell.
+	snap := []scenario.NodeSnapshot{{ID: 0, Pos: space.Point{7.999, 7.999}}}
+	out := ASCIIDensity(tor, snap, 4, 4)
+	if !strings.Contains(out, "1") {
+		t.Fatalf("border point not placed: %q", out)
+	}
+}
+
+func TestOccupancyCollapsesAfterTManFailure(t *testing.T) {
+	// Fig. 1 in miniature: with plain T-Man, killing the right half leaves
+	// half the density cells empty; with Polystyrene they repopulate.
+	run := func(poly bool) float64 {
+		sc := scenario.MustNew(scenario.Config{Seed: 2, W: 16, H: 8, Polystyrene: poly, K: 4, SkipMetrics: true})
+		sc.Run(15)
+		sc.FailRightHalf()
+		sc.Run(25)
+		return OccupancyStats(sc.Space, sc.Snapshot(), 8, 4)
+	}
+	tman := run(false)
+	poly := run(true)
+	if tman > 0.65 {
+		t.Errorf("plain T-Man occupancy %.2f after failure, expected ~0.5", tman)
+	}
+	if poly < 0.9 {
+		t.Errorf("Polystyrene occupancy %.2f after failure, expected ~1.0", poly)
+	}
+}
+
+func TestOccupancyDegenerate(t *testing.T) {
+	tor := space.NewTorus(8, 8)
+	if got := OccupancyStats(tor, nil, 0, 0); got != 0 {
+		t.Fatalf("degenerate occupancy = %v", got)
+	}
+}
+
+func TestShortWay(t *testing.T) {
+	cases := []struct{ d, w, want float64 }{
+		{1, 10, 1}, {-1, 10, -1}, {6, 10, -4}, {-6, 10, 4}, {5, 10, 5},
+	}
+	for _, c := range cases {
+		if got := shortWay(c.d, c.w); got != c.want {
+			t.Errorf("shortWay(%v,%v) = %v, want %v", c.d, c.w, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,416 @@
+// Package polystyrene is a from-scratch Go implementation of Polystyrene
+// (Bouget, Kervadec, Kermarrec & Taïani, ICDCS 2014): a decentralized,
+// shape-preserving overlay layer that survives catastrophic correlated
+// failures. It bundles the full stack the paper builds on — a Cyclon-style
+// peer-sampling service, the T-Man topology-construction protocol, a
+// round-based simulation engine — plus the Polystyrene layer itself:
+// projection, backup, recovery and migration (Secs. III-C to III-F).
+//
+// The package exposes a plain-Go facade over the internal packages. A
+// System is a network of simulated nodes holding the data points that
+// define a target shape (a torus, a ring, a profile space ...). Nodes
+// converge so that each is linked to its closest peers; when a whole
+// region of the network crashes, the survivors adopt the orphaned data
+// points from their replicas and migrate onto them, restoring the shape:
+//
+//	shape := polystyrene.TorusShape(40, 20, 1)
+//	sys, err := polystyrene.NewSystem(polystyrene.SystemConfig{
+//		Space:             polystyrene.Torus(40, 20),
+//		Shape:             shape,
+//		ReplicationFactor: 4,
+//	})
+//	sys.Run(20)                                            // converge
+//	sys.CrashRegion(func(p []float64) bool { return p[0] >= 20 })
+//	sys.Run(10)                                            // reshape
+//	fmt.Println(sys.Homogeneity(), "<", sys.ReferenceHomogeneity())
+//
+// Everything is deterministic given SystemConfig.Seed, uses only the
+// standard library, and runs comfortably at the paper's largest scale
+// (51 200 nodes) on a laptop.
+package polystyrene
+
+import (
+	"fmt"
+
+	"polystyrene/internal/core"
+	"polystyrene/internal/fd"
+	"polystyrene/internal/metrics"
+	"polystyrene/internal/rps"
+	"polystyrene/internal/sim"
+	"polystyrene/internal/space"
+	"polystyrene/internal/tman"
+)
+
+// SpaceSpec selects the metric data space of a System. Construct specs
+// with Euclidean, Torus, Ring or Hamming.
+type SpaceSpec struct {
+	kind   string
+	dim    int
+	widths []float64
+}
+
+// Euclidean returns the Euclidean space R^dim.
+func Euclidean(dim int) SpaceSpec { return SpaceSpec{kind: "euclidean", dim: dim} }
+
+// Torus returns a flat 2D torus with the given circumferences. This is the
+// space of the paper's evaluation.
+func Torus(width, height float64) SpaceSpec {
+	return SpaceSpec{kind: "torus", widths: []float64{width, height}}
+}
+
+// Ring returns a 1D modular key space of the given circumference, as used
+// by ring overlays (Chord, Pastry).
+func Ring(circumference float64) SpaceSpec {
+	return SpaceSpec{kind: "torus", widths: []float64{circumference}}
+}
+
+// Hamming returns the Hamming space over 0/1 vectors of the given length —
+// a profile space for semantic overlays (Sec. III-A).
+func Hamming(dim int) SpaceSpec { return SpaceSpec{kind: "hamming", dim: dim} }
+
+func (s SpaceSpec) build() (space.Space, error) {
+	switch s.kind {
+	case "euclidean":
+		if s.dim <= 0 {
+			return nil, fmt.Errorf("polystyrene: Euclidean space needs dim > 0")
+		}
+		return space.NewEuclidean(s.dim), nil
+	case "torus":
+		return space.NewTorus(s.widths...), nil
+	case "hamming":
+		if s.dim <= 0 {
+			return nil, fmt.Errorf("polystyrene: Hamming space needs dim > 0")
+		}
+		return space.NewHamming(s.dim), nil
+	default:
+		return nil, fmt.Errorf("polystyrene: empty SpaceSpec (use Euclidean, Torus, Ring or Hamming)")
+	}
+}
+
+// TorusShape returns the w x h regular grid shape of the paper's
+// evaluation: one data point per grid cell, step units apart, living on
+// Torus(w*step, h*step).
+func TorusShape(w, h int, step float64) [][]float64 {
+	pts := space.TorusGrid(w, h, step)
+	out := make([][]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p
+	}
+	return out
+}
+
+// RingShape returns n evenly spaced data points on Ring(circumference).
+func RingShape(n int, circumference float64) [][]float64 {
+	pts := space.RingPoints(n, circumference)
+	out := make([][]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p
+	}
+	return out
+}
+
+// SystemConfig configures a System. Space and Shape are required.
+type SystemConfig struct {
+	// Seed makes the run reproducible (two systems with equal configs
+	// evolve identically).
+	Seed uint64
+	// Space is the metric data space.
+	Space SpaceSpec
+	// Shape lists the initial data points; one node is created per point.
+	Shape [][]float64
+	// ReplicationFactor is K, the number of backup copies per data point
+	// (default 4). Reliability under a failure of a fraction pf of the
+	// system is approximately 1 - pf^(K+1) (Sec. III-D).
+	ReplicationFactor int
+	// Split selects the migration split function: "basic", "pd", "md" or
+	// "advanced" (default "advanced", the paper's best).
+	Split string
+	// Baseline disables the Polystyrene layer and runs plain T-Man, for
+	// comparisons.
+	Baseline bool
+	// DetectionDelay, when positive, replaces the perfect failure
+	// detector with one that reports crashes only after that many rounds.
+	DetectionDelay int
+	// NeighborK is the overlay degree used by Neighbors-driven metrics
+	// (default 4, as in the paper's figures).
+	NeighborK int
+}
+
+// System is a running Polystyrene network.
+type System struct {
+	cfg     SystemConfig
+	engine  *sim.Engine
+	space   space.Space
+	sampler *rps.Protocol
+	tman    *tman.Protocol
+	poly    *core.Protocol // nil when Baseline
+	shape   []space.Point
+
+	// fixedPos pins positions of baseline nodes added after start.
+	fixedPos map[sim.NodeID]space.Point
+}
+
+// NewSystem builds and wires a System; the initial population is one node
+// per shape point, each hosting its point.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if len(cfg.Shape) == 0 {
+		return nil, fmt.Errorf("polystyrene: SystemConfig.Shape is empty")
+	}
+	spc, err := cfg.Space.build()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ReplicationFactor == 0 {
+		cfg.ReplicationFactor = core.DefaultK
+	}
+	if cfg.Split == "" {
+		cfg.Split = "advanced"
+	}
+	if cfg.NeighborK == 0 {
+		cfg.NeighborK = 4
+	}
+	splitKind, err := core.ParseSplitKind(cfg.Split)
+	if err != nil {
+		return nil, err
+	}
+
+	sys := &System{
+		cfg:      cfg,
+		space:    spc,
+		sampler:  rps.New(rps.Config{}),
+		fixedPos: make(map[sim.NodeID]space.Point),
+	}
+	sys.shape = make([]space.Point, len(cfg.Shape))
+	for i, p := range cfg.Shape {
+		if len(p) != spc.Dim() {
+			return nil, fmt.Errorf("polystyrene: shape point %d has dimension %d, space wants %d",
+				i, len(p), spc.Dim())
+		}
+		sys.shape[i] = space.Point(p).Clone()
+	}
+
+	tm, err := tman.New(tman.Config{
+		Space:    spc,
+		Sampler:  sys.sampler,
+		Position: sys.position,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys.tman = tm
+
+	layers := []sim.Protocol{sys.sampler, tm}
+	if !cfg.Baseline {
+		var det fd.Detector
+		if cfg.DetectionDelay > 0 {
+			det = fd.NewDelayed(cfg.DetectionDelay)
+		}
+		poly, err := core.New(core.Config{
+			Space:        spc,
+			Topology:     tm,
+			Sampler:      sys.sampler,
+			Detector:     det,
+			K:            cfg.ReplicationFactor,
+			Split:        splitKind,
+			InitialPoint: sys.initialPoint,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sys.poly = poly
+		layers = append(layers, poly)
+	}
+
+	sys.engine = sim.New(cfg.Seed, layers...)
+	sys.engine.AddNodes(len(sys.shape))
+	return sys, nil
+}
+
+func (s *System) initialPoint(id sim.NodeID) (space.Point, bool) {
+	if int(id) < len(s.shape) {
+		return s.shape[id], true
+	}
+	// Nodes added later via AddNodes carry their own pinned position.
+	return s.fixedPos[id], false
+}
+
+func (s *System) position(id sim.NodeID) space.Point {
+	if s.poly != nil {
+		return s.poly.Position(id)
+	}
+	if p, ok := s.fixedPos[id]; ok {
+		return p
+	}
+	return s.shape[id]
+}
+
+// Run executes n gossip rounds.
+func (s *System) Run(n int) { s.engine.RunRounds(n) }
+
+// Round returns the number of completed rounds.
+func (s *System) Round() int { return s.engine.Round() }
+
+// NumLive returns the number of live nodes.
+func (s *System) NumLive() int { return s.engine.NumLive() }
+
+// Live returns the IDs of live nodes.
+func (s *System) Live() []int {
+	ids := s.engine.LiveIDs()
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+// CrashNodes crashes the given nodes (crash-stop). Unknown or already dead
+// IDs are ignored.
+func (s *System) CrashNodes(ids ...int) {
+	for _, id := range ids {
+		s.engine.Kill(sim.NodeID(id))
+	}
+}
+
+// CrashRegion crashes every live node whose current position satisfies the
+// predicate — the paper's catastrophic correlated failure. It returns the
+// number of crashed nodes.
+func (s *System) CrashRegion(in func(pos []float64) bool) int {
+	killed := 0
+	for _, id := range s.engine.LiveIDs() {
+		if in(s.position(id)) {
+			s.engine.Kill(id)
+			killed++
+		}
+	}
+	return killed
+}
+
+// AddNodes injects fresh nodes at the given positions. Under Polystyrene
+// they join empty-handed (no data point) and acquire points through
+// migration; under Baseline they are ordinary fixed nodes.
+func (s *System) AddNodes(positions [][]float64) ([]int, error) {
+	out := make([]int, 0, len(positions))
+	for _, p := range positions {
+		if len(p) != s.space.Dim() {
+			return out, fmt.Errorf("polystyrene: position has dimension %d, space wants %d",
+				len(p), s.space.Dim())
+		}
+		// Record the position before AddNode so InitNode can read it.
+		next := sim.NodeID(s.engine.NumNodes())
+		s.fixedPos[next] = space.Point(p).Clone()
+		id := s.engine.AddNode()
+		out = append(out, int(id))
+	}
+	return out, nil
+}
+
+// NodePosition returns a node's current virtual position.
+func (s *System) NodePosition(id int) []float64 {
+	return s.position(sim.NodeID(id)).Clone()
+}
+
+// NodeGuests returns the data points a node currently hosts.
+func (s *System) NodeGuests(id int) [][]float64 {
+	if s.poly == nil {
+		return [][]float64{s.NodePosition(id)}
+	}
+	guests := s.poly.Guests(sim.NodeID(id))
+	out := make([][]float64, len(guests))
+	for i, g := range guests {
+		out[i] = g.Clone()
+	}
+	return out
+}
+
+// Neighbors returns the k closest overlay neighbours of a node.
+func (s *System) Neighbors(id, k int) []int {
+	nbs := s.tman.Neighbors(sim.NodeID(id), k)
+	out := make([]int, len(nbs))
+	for i, nb := range nbs {
+		out[i] = int(nb)
+	}
+	return out
+}
+
+// Lookup returns the live node whose position is closest to the query
+// point — the primitive a storage or routing layer builds on. It returns
+// -1 when the system is empty.
+func (s *System) Lookup(query []float64) int {
+	best, bestD := -1, 0.0
+	q := space.Point(query)
+	for _, id := range s.engine.LiveIDs() {
+		d := s.space.Distance(q, s.position(id))
+		if best < 0 || d < bestD {
+			best, bestD = int(id), d
+		}
+	}
+	return best
+}
+
+// metricsView adapts the system for the internal metrics package.
+type metricsView struct{ s *System }
+
+func (v metricsView) Space() space.Space                 { return v.s.space }
+func (v metricsView) Live() []sim.NodeID                 { return v.s.engine.LiveIDs() }
+func (v metricsView) Position(id sim.NodeID) space.Point { return v.s.position(id) }
+func (v metricsView) Guests(id sim.NodeID) []space.Point {
+	if v.s.poly == nil {
+		return []space.Point{v.s.position(id)}
+	}
+	return v.s.poly.Guests(id)
+}
+func (v metricsView) NumGhosts(id sim.NodeID) int {
+	if v.s.poly == nil {
+		return 0
+	}
+	return v.s.poly.NumGhosts(id)
+}
+func (v metricsView) Neighbors(id sim.NodeID, k int) []sim.NodeID {
+	return v.s.tman.Neighbors(id, k)
+}
+
+// Homogeneity measures how well the original shape is preserved: the mean
+// distance from each original data point to the nearest node hosting it
+// (Sec. IV-A). Lower is better; see ReferenceHomogeneity for the target.
+func (s *System) Homogeneity() float64 {
+	return metrics.Homogeneity(metricsView{s}, s.shape)
+}
+
+// ReferenceHomogeneity returns H, the homogeneity an ideal distribution of
+// the current live population would reach on a 2D torus (only meaningful
+// for 2D toruses; other spaces return a best-effort analogue using the
+// shape size as area).
+func (s *System) ReferenceHomogeneity() float64 {
+	if t, ok := s.space.(space.Torus); ok && t.Dim() == 2 {
+		return metrics.ReferenceHomogeneity(t.Area(), s.engine.NumLive())
+	}
+	return metrics.ReferenceHomogeneity(float64(len(s.shape)), s.engine.NumLive())
+}
+
+// Proximity is the mean distance between each node and its NeighborK
+// closest overlay neighbours (lower is better).
+func (s *System) Proximity() float64 {
+	return metrics.Proximity(metricsView{s}, s.cfg.NeighborK)
+}
+
+// Reliability returns the fraction of the original data points still
+// hosted by a live node.
+func (s *System) Reliability() float64 {
+	return metrics.Reliability(metricsView{s}, s.shape)
+}
+
+// DataPointsPerNode returns the mean number of stored points (guests plus
+// ghost replicas) per live node — the paper's memory-overhead metric.
+func (s *System) DataPointsPerNode() float64 {
+	return metrics.DataPointsPerNode(metricsView{s})
+}
+
+// LastRoundMessageCost returns the communication units charged during the
+// most recently completed round, averaged per live node (Sec. IV-A cost
+// model: 1 unit per node ID and per coordinate).
+func (s *System) LastRoundMessageCost() float64 {
+	if s.engine.Round() == 0 {
+		return 0
+	}
+	return metrics.MessageCostPerNode(s.engine, s.engine.Round()-1)
+}

@@ -1,0 +1,267 @@
+package polystyrene
+
+import (
+	"math"
+	"testing"
+)
+
+func torusSystem(t *testing.T, seed uint64, baseline bool) *System {
+	t.Helper()
+	sys, err := NewSystem(SystemConfig{
+		Seed:              seed,
+		Space:             Torus(20, 10),
+		Shape:             TorusShape(20, 10, 1),
+		ReplicationFactor: 4,
+		Baseline:          baseline,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(SystemConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := NewSystem(SystemConfig{Space: Torus(10, 10)}); err == nil {
+		t.Fatal("missing shape accepted")
+	}
+	if _, err := NewSystem(SystemConfig{
+		Space: Torus(10, 10), Shape: [][]float64{{1}},
+	}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, err := NewSystem(SystemConfig{
+		Space: Torus(10, 10), Shape: TorusShape(10, 10, 1), Split: "bogus",
+	}); err == nil {
+		t.Fatal("bogus split accepted")
+	}
+	if _, err := NewSystem(SystemConfig{Space: Euclidean(0), Shape: [][]float64{{1}}}); err == nil {
+		t.Fatal("zero-dim euclidean accepted")
+	}
+	if _, err := NewSystem(SystemConfig{Space: SpaceSpec{}, Shape: [][]float64{{1}}}); err == nil {
+		t.Fatal("zero SpaceSpec accepted")
+	}
+}
+
+func TestShapeBuilders(t *testing.T) {
+	grid := TorusShape(4, 3, 2)
+	if len(grid) != 12 || grid[1][0] != 2 {
+		t.Fatalf("TorusShape = %v", grid[:2])
+	}
+	ring := RingShape(4, 100)
+	if len(ring) != 4 || ring[2][0] != 50 {
+		t.Fatalf("RingShape = %v", ring)
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	// The README quickstart, as a test: converge, crash half, reshape.
+	sys := torusSystem(t, 1, false)
+	sys.Run(15)
+	if p := sys.Proximity(); p > 1.1 {
+		t.Fatalf("proximity after convergence %v", p)
+	}
+	killed := sys.CrashRegion(func(p []float64) bool { return p[0] >= 10 })
+	if killed < 90 || killed > 110 {
+		t.Fatalf("killed %d, want ~100", killed)
+	}
+	sys.Run(15)
+	if h, ref := sys.Homogeneity(), sys.ReferenceHomogeneity(); h >= ref {
+		t.Fatalf("homogeneity %v did not drop below reference %v", h, ref)
+	}
+	if r := sys.Reliability(); r < 0.9 {
+		t.Fatalf("reliability %v, want > 0.9 with K=4", r)
+	}
+}
+
+func TestBaselineDoesNotReshape(t *testing.T) {
+	sys := torusSystem(t, 2, true)
+	sys.Run(15)
+	sys.CrashRegion(func(p []float64) bool { return p[0] >= 10 })
+	sys.Run(15)
+	if h, ref := sys.Homogeneity(), sys.ReferenceHomogeneity(); h < ref {
+		t.Fatalf("baseline unexpectedly reshaped: %v < %v", h, ref)
+	}
+}
+
+func TestRoundAndLiveAccounting(t *testing.T) {
+	sys := torusSystem(t, 3, false)
+	if sys.Round() != 0 || sys.NumLive() != 200 {
+		t.Fatalf("fresh system: round=%d live=%d", sys.Round(), sys.NumLive())
+	}
+	sys.Run(3)
+	if sys.Round() != 3 {
+		t.Fatalf("round = %d", sys.Round())
+	}
+	sys.CrashNodes(0, 1, 2, 999)
+	if sys.NumLive() != 197 {
+		t.Fatalf("live = %d, want 197", sys.NumLive())
+	}
+	if got := len(sys.Live()); got != 197 {
+		t.Fatalf("Live() length %d", got)
+	}
+}
+
+func TestAddNodesAcquirePointsAfterCrash(t *testing.T) {
+	sys := torusSystem(t, 4, false)
+	sys.Run(10)
+	killed := sys.CrashRegion(func(p []float64) bool { return p[0] >= 10 })
+	sys.Run(10)
+	// Inject replacements on the offset grid.
+	fresh := make([][]float64, 0, killed)
+	for _, p := range TorusShape(20, 10, 1) {
+		if len(fresh) == killed {
+			break
+		}
+		if int(p[0]+p[1])%2 == 0 {
+			fresh = append(fresh, []float64{p[0] + 0.5, p[1] + 0.5})
+		}
+	}
+	ids, err := sys.AddNodes(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(25)
+	got := 0
+	for _, id := range ids {
+		if len(sys.NodeGuests(id)) > 0 {
+			got++
+		}
+	}
+	if got < len(ids)/2 {
+		t.Fatalf("only %d of %d injected nodes acquired points", got, len(ids))
+	}
+}
+
+func TestAddNodesDimensionCheck(t *testing.T) {
+	sys := torusSystem(t, 5, false)
+	if _, err := sys.AddNodes([][]float64{{1}}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestLookupRoutesToNearestNode(t *testing.T) {
+	sys := torusSystem(t, 6, false)
+	sys.Run(15)
+	id := sys.Lookup([]float64{5.2, 5.1})
+	if id < 0 {
+		t.Fatal("lookup failed")
+	}
+	pos := sys.NodePosition(id)
+	d := math.Hypot(pos[0]-5.2, pos[1]-5.1)
+	if d > 1.0 {
+		t.Fatalf("lookup returned node at distance %v", d)
+	}
+}
+
+func TestLookupAfterCatastropheStillCoversSpace(t *testing.T) {
+	sys := torusSystem(t, 7, false)
+	sys.Run(15)
+	sys.CrashRegion(func(p []float64) bool { return p[0] >= 10 })
+	sys.Run(15)
+	// Queries in the crashed half must still route to a nearby survivor.
+	worst := 0.0
+	for _, q := range [][]float64{{15, 5}, {12, 2}, {18, 8}, {14.5, 0.5}} {
+		id := sys.Lookup(q)
+		if id < 0 {
+			t.Fatal("lookup failed")
+		}
+		pos := sys.NodePosition(id)
+		dx := math.Min(math.Abs(pos[0]-q[0]), 20-math.Abs(pos[0]-q[0]))
+		dy := math.Min(math.Abs(pos[1]-q[1]), 10-math.Abs(pos[1]-q[1]))
+		if d := math.Hypot(dx, dy); d > worst {
+			worst = d
+		}
+	}
+	if worst > 2.0 {
+		t.Fatalf("worst lookup distance %v in the recovered half, want < 2", worst)
+	}
+}
+
+func TestNeighborsExposed(t *testing.T) {
+	sys := torusSystem(t, 8, false)
+	sys.Run(10)
+	nbs := sys.Neighbors(0, 4)
+	if len(nbs) != 4 {
+		t.Fatalf("neighbours = %v", nbs)
+	}
+}
+
+func TestMemoryAndCostMetrics(t *testing.T) {
+	sys := torusSystem(t, 9, false)
+	if sys.LastRoundMessageCost() != 0 {
+		t.Fatal("cost before any round should be 0")
+	}
+	sys.Run(10)
+	if dp := sys.DataPointsPerNode(); math.Abs(dp-5) > 0.5 {
+		t.Fatalf("data points per node %v, want ~5 (K+1)", dp)
+	}
+	if c := sys.LastRoundMessageCost(); c <= 0 {
+		t.Fatalf("message cost %v, want > 0", c)
+	}
+}
+
+func TestRingSystem(t *testing.T) {
+	// The facade must work on non-torus shapes: a Chord-like ring.
+	sys, err := NewSystem(SystemConfig{
+		Seed:              10,
+		Space:             Ring(256),
+		Shape:             RingShape(128, 256),
+		ReplicationFactor: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(15)
+	if p := sys.Proximity(); p > 4.1 {
+		t.Fatalf("ring proximity %v, want ~ring spacing", p)
+	}
+	// Crash a contiguous arc (a "datacenter").
+	sys.CrashRegion(func(p []float64) bool { return p[0] >= 128 && p[0] < 192 })
+	sys.Run(15)
+	if r := sys.Reliability(); r < 0.9 {
+		t.Fatalf("ring reliability %v", r)
+	}
+	if h, ref := sys.Homogeneity(), sys.ReferenceHomogeneity(); h >= ref {
+		t.Fatalf("ring homogeneity %v did not drop below %v", h, ref)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() float64 {
+		sys := torusSystem(t, 42, false)
+		sys.Run(10)
+		sys.CrashRegion(func(p []float64) bool { return p[0] >= 10 })
+		sys.Run(10)
+		return sys.Homogeneity()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("identical configs diverged: %v vs %v", a, b)
+	}
+}
+
+func TestDetectionDelaySlowsRecovery(t *testing.T) {
+	measure := func(delay int) float64 {
+		sys, err := NewSystem(SystemConfig{
+			Seed:              11,
+			Space:             Torus(20, 10),
+			Shape:             TorusShape(20, 10, 1),
+			ReplicationFactor: 4,
+			DetectionDelay:    delay,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Run(10)
+		sys.CrashRegion(func(p []float64) bool { return p[0] >= 10 })
+		sys.Run(4)
+		return sys.Homogeneity()
+	}
+	fast := measure(0)
+	slow := measure(8)
+	if slow <= fast {
+		t.Fatalf("detection delay did not slow recovery: delayed h=%v vs perfect h=%v", slow, fast)
+	}
+}
