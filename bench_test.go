@@ -199,7 +199,7 @@ func BenchmarkTableIIReshaping(b *testing.B) {
 				var err error
 				rows, err = scenario.TableII(
 					scenario.Config{Seed: 7, W: benchW, H: benchH},
-					[]int{k}, 3, 20, 60)
+					[]int{k}, scenario.RunOpts{Reps: 3, ConvergeRounds: 20, MaxRounds: 60})
 				if err != nil {
 					b.Fatal(err)
 				}

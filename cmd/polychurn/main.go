@@ -37,6 +37,7 @@ func run(args []string, out io.Writer) error {
 		rounds    = fs.Int("rounds", 40, "churn period length in rounds")
 		converge  = fs.Int("converge", 20, "convergence rounds before churn")
 		settle    = fs.Int("settle", 20, "quiet rounds after churn before measuring")
+		parallel  = fs.Int("parallel", 0, "concurrent rates (0 = all cores)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,7 +49,12 @@ func run(args []string, out io.Writer) error {
 	}
 
 	base := scenario.Config{Seed: *seed, W: *w, H: *h, K: *k}
-	outs, err := scenario.ChurnSweep(base, rates, *rounds, *converge, *settle)
+	outs, err := scenario.ChurnSweep(base, rates, scenario.ChurnSweepOpts{
+		ChurnRounds:    *rounds,
+		ConvergeRounds: *converge,
+		SettleRounds:   *settle,
+		Parallelism:    *parallel,
+	})
 	if err != nil {
 		return err
 	}

@@ -3,8 +3,10 @@
 //
 //	polysweep -mode size              # Fig. 10a — K ∈ {2,4,8}, SplitAdvanced
 //	polysweep -mode split             # Fig. 10b — Basic / MD / Advanced at K=4
-//	polysweep -mode size -max 51200   # full paper range (long run)
+//	polysweep -mode size -max 3200    # laptop-scale smoke run
 //
+// The default sweep covers the paper's full size axis up to the 51,200-node
+// 320x160 torus; grid cells fan out across all cores (tune with -parallel).
 // Output is CSV: one row per (variant, size) with the mean reshaping time
 // and CI95 over the requested repetitions.
 package main
@@ -31,11 +33,12 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("polysweep", flag.ContinueOnError)
 	var (
 		mode     = fs.String("mode", "size", "sweep mode: size (Fig. 10a) or split (Fig. 10b)")
-		maxNodes = fs.Int("max", 12800, "largest network size to include (paper: 51200)")
+		maxNodes = fs.Int("max", 51200, "largest network size to include (paper: 51200)")
 		reps     = fs.Int("reps", 3, "repetitions per point (paper: 25)")
 		seed     = fs.Uint64("seed", 1, "base random seed")
 		converge = fs.Int("converge", 20, "convergence rounds before the failure")
 		budget   = fs.Int("max-rounds", 80, "round budget for reshaping")
+		parallel = fs.Int("parallel", 0, "concurrent grid cells (0 = all cores)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,7 +65,12 @@ func run(args []string, out io.Writer) error {
 
 	sizes := scenario.PaperGridSizes(*maxNodes)
 	results, err := scenario.SizeSweep(scenario.Config{Seed: *seed}, sizes, variants,
-		*reps, *converge, *budget)
+		scenario.RunOpts{
+			Reps:           *reps,
+			ConvergeRounds: *converge,
+			MaxRounds:      *budget,
+			Parallelism:    *parallel,
+		})
 	if err != nil {
 		return err
 	}

@@ -32,13 +32,19 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Uint64("seed", 1, "base random seed")
 		converge = fs.Int("converge", 20, "convergence rounds before the failure")
 		budget   = fs.Int("max-rounds", 80, "round budget for reshaping")
+		parallel = fs.Int("parallel", 0, "concurrent repetitions (0 = all cores)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	rows, err := scenario.TableII(scenario.Config{Seed: *seed, W: *w, H: *h},
-		[]int{2, 4, 8}, *reps, *converge, *budget)
+		[]int{2, 4, 8}, scenario.RunOpts{
+			Reps:           *reps,
+			ConvergeRounds: *converge,
+			MaxRounds:      *budget,
+			Parallelism:    *parallel,
+		})
 	if err != nil {
 		return err
 	}

@@ -14,26 +14,30 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 
 	"polystyrene"
 )
 
-const (
-	ringSize = 1024 // circumference of the key space
-	nodes    = 256  // 64 per datacenter
-)
+func main() {
+	// 1024-key ring, 256 nodes: 64 per datacenter.
+	if err := demo(os.Stdout, 1024, 256, 25); err != nil {
+		log.Fatal(err)
+	}
+}
 
 // datacenterOf maps a ring position to its hosting datacenter (0-3):
 // contiguous arcs of the key space live in the same facility.
-func datacenterOf(pos float64) int {
+func datacenterOf(pos, ringSize float64) int {
 	return int(pos/(ringSize/4)) % 4
 }
 
 // worstLookup probes lookups across the key space and reports the largest
 // ring distance between a key and the node that answers for it.
-func worstLookup(sys *polystyrene.System) float64 {
+func worstLookup(sys *polystyrene.System, ringSize float64) float64 {
 	worst := 0.0
 	for key := 0.0; key < ringSize; key += ringSize / 64 {
 		owner := sys.Lookup([]float64{key})
@@ -52,7 +56,7 @@ func worstLookup(sys *polystyrene.System) float64 {
 	return worst
 }
 
-func run(baseline bool) (worstBefore, worstAfter float64) {
+func outage(baseline bool, ringSize float64, nodes, rounds int) (worstBefore, worstAfter float64, err error) {
 	sys, err := polystyrene.NewSystem(polystyrene.SystemConfig{
 		Seed:              7,
 		Space:             polystyrene.Ring(ringSize),
@@ -61,29 +65,33 @@ func run(baseline bool) (worstBefore, worstAfter float64) {
 		Baseline:          baseline,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return 0, 0, err
 	}
-	sys.Run(25)
-	worstBefore = worstLookup(sys)
+	sys.Run(rounds)
+	worstBefore = worstLookup(sys, ringSize)
 
 	// Datacenter 2 loses power: every node whose current ring position
 	// falls in its arc crashes at once.
-	sys.CrashRegion(func(p []float64) bool { return datacenterOf(p[0]) == 2 })
-	sys.Run(25)
-	return worstBefore, worstLookup(sys)
+	sys.CrashRegion(func(p []float64) bool { return datacenterOf(p[0], ringSize) == 2 })
+	sys.Run(rounds)
+	return worstBefore, worstLookup(sys, ringSize), nil
 }
 
-func main() {
-	fmt.Printf("%d nodes on a %d-key ring across 4 datacenters; datacenter 2 fails\n\n", nodes, ringSize)
+func demo(out io.Writer, ringSize float64, nodes, rounds int) error {
+	fmt.Fprintf(out, "%d nodes on a %.0f-key ring across 4 datacenters; datacenter 2 fails\n\n", nodes, ringSize)
 	for _, baseline := range []bool{true, false} {
 		name := "polystyrene"
 		if baseline {
 			name = "t-man only "
 		}
-		before, after := run(baseline)
-		fmt.Printf("%s  worst key→owner distance: %6.2f before, %6.2f after the outage\n",
+		before, after, err := outage(baseline, ringSize, nodes, rounds)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s  worst key→owner distance: %6.2f before, %6.2f after the outage\n",
 			name, before, after)
 	}
-	fmt.Println("\nThe ideal spacing after losing a quarter of the nodes is ~", ringSize/(nodes*3/4))
-	fmt.Println("Polystyrene closes the ring; T-Man leaves the dead datacenter's arc dark.")
+	fmt.Fprintln(out, "\nThe ideal spacing after losing a quarter of the nodes is ~", ringSize/float64(nodes*3/4))
+	fmt.Fprintln(out, "Polystyrene closes the ring; T-Man leaves the dead datacenter's arc dark.")
+	return nil
 }

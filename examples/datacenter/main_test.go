@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDemoRingOutage(t *testing.T) {
+	var buf strings.Builder
+	if err := demo(&buf, 256, 64, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"polystyrene", "t-man only", "after the outage"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDatacenterOf(t *testing.T) {
+	for dc := 0; dc < 4; dc++ {
+		pos := float64(dc)*256 + 100
+		if got := datacenterOf(pos, 1024); got != dc {
+			t.Fatalf("datacenterOf(%v) = %d, want %d", pos, got, dc)
+		}
+	}
+}

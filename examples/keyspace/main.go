@@ -13,12 +13,18 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"polystyrene"
 )
 
-const w, h = 32, 16 // 512 zones / nodes
+func main() {
+	if err := demo(os.Stdout, 32, 16); err != nil { // 512 zones / nodes
+		log.Fatal(err)
+	}
+}
 
 // loadStats returns the min, mean and max number of key zones (data
 // points) per live node — the load-balance view of the overlay.
@@ -39,27 +45,27 @@ func loadStats(sys *polystyrene.System) (minLoad, maxLoad int, mean float64) {
 	return minLoad, maxLoad, float64(total) / float64(len(live))
 }
 
-func main() {
+func demo(out io.Writer, w, h int) error {
 	sys, err := polystyrene.NewSystem(polystyrene.SystemConfig{
 		Seed:              3,
-		Space:             polystyrene.Torus(w, h),
+		Space:             polystyrene.Torus(float64(w), float64(h)),
 		Shape:             polystyrene.TorusShape(w, h, 1),
 		ReplicationFactor: 6,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	report := func(stage string) {
 		lo, hi, mean := loadStats(sys)
-		fmt.Printf("%-28s nodes=%3d  zones/node: min=%d mean=%.2f max=%d  homogeneity=%.3f\n",
+		fmt.Fprintf(out, "%-28s nodes=%3d  zones/node: min=%d mean=%.2f max=%d  homogeneity=%.3f\n",
 			stage, sys.NumLive(), lo, mean, hi, sys.Homogeneity())
 	}
 
 	sys.Run(20)
 	report("steady state:")
 
-	killed := sys.CrashRegion(func(p []float64) bool { return p[0] >= w/2 })
+	killed := sys.CrashRegion(func(p []float64) bool { return p[0] >= float64(w)/2 })
 	sys.Run(20)
 	report(fmt.Sprintf("region down (-%d nodes):", killed))
 
@@ -72,11 +78,12 @@ func main() {
 		}
 	}
 	if _, err := sys.AddNodes(fresh); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	sys.Run(40)
 	report(fmt.Sprintf("re-provisioned (+%d nodes):", len(fresh)))
 
-	fmt.Printf("\n%.1f%% of the original key zones survived the regional outage (K=6)\n",
+	fmt.Fprintf(out, "\n%.1f%% of the original key zones survived the regional outage (K=6)\n",
 		100*sys.Reliability())
+	return nil
 }

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDemoElasticReprovisioning(t *testing.T) {
+	var buf strings.Builder
+	if err := demo(&buf, 16, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"steady state:", "region down", "re-provisioned", "survived"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -17,16 +17,23 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"polystyrene"
 )
 
 const (
-	topics            = 24 // profile vector length
-	usersPerCommunity = 64
-	communities       = 4
+	topics      = 24 // profile vector length
+	communities = 4
 )
+
+func main() {
+	if err := demo(os.Stdout, 64, 25); err != nil {
+		log.Fatal(err)
+	}
+}
 
 // communityProfile builds a profile for user u of community c: a shared
 // 6-topic community core plus a per-user variation topic, so members are
@@ -66,7 +73,7 @@ func coverage(sys *polystyrene.System) []float64 {
 	return out
 }
 
-func main() {
+func demo(out io.Writer, usersPerCommunity, rounds int) error {
 	shape := make([][]float64, 0, communities*usersPerCommunity)
 	for c := 0; c < communities; c++ {
 		for u := 0; u < usersPerCommunity; u++ {
@@ -81,12 +88,12 @@ func main() {
 		ReplicationFactor: 6,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	sys.Run(25)
-	fmt.Println("interest coverage after convergence (Hamming distance to each community core):")
-	fmt.Printf("  %v\n", coverage(sys))
+	sys.Run(rounds)
+	fmt.Fprintln(out, "interest coverage after convergence (Hamming distance to each community core):")
+	fmt.Fprintf(out, "  %v\n", coverage(sys))
 
 	// Provider hosting community 1 goes dark: crash every node whose
 	// current profile position sits in community 1's core region.
@@ -99,11 +106,12 @@ func main() {
 		}
 		return hits >= 4
 	})
-	fmt.Printf("\nprovider outage: %d users of community 1 vanished\n", killed)
+	fmt.Fprintf(out, "\nprovider outage: %d users of community 1 vanished\n", killed)
 
-	sys.Run(25)
-	fmt.Println("interest coverage after Polystyrene re-shaping:")
-	fmt.Printf("  %v\n", coverage(sys))
-	fmt.Printf("\n%.1f%% of all user profiles survived and are still routable (K=6)\n",
+	sys.Run(rounds)
+	fmt.Fprintln(out, "interest coverage after Polystyrene re-shaping:")
+	fmt.Fprintf(out, "  %v\n", coverage(sys))
+	fmt.Fprintf(out, "\n%.1f%% of all user profiles survived and are still routable (K=6)\n",
 		100*sys.Reliability())
+	return nil
 }

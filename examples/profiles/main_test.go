@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDemoSemanticOverlayOutage(t *testing.T) {
+	var buf strings.Builder
+	if err := demo(&buf, 16, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"provider outage", "re-shaping", "survived"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "-1") {
+		t.Fatalf("some community core became unroutable:\n%s", out)
+	}
+}
+
+func TestCommunityProfileShape(t *testing.T) {
+	for c := 0; c < communities; c++ {
+		p := communityProfile(c, 3)
+		ones := 0
+		for _, v := range p {
+			if v == 1 {
+				ones++
+			}
+		}
+		if ones != 7 { // 6 core topics + 1 variation
+			t.Fatalf("community %d profile has %d set topics, want 7", c, ones)
+		}
+	}
+}

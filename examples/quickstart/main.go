@@ -9,42 +9,52 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"polystyrene"
 )
 
 func main() {
-	const w, h = 40, 20
-	sys, err := polystyrene.NewSystem(polystyrene.SystemConfig{
-		Seed:              1,
-		Space:             polystyrene.Torus(w, h),
-		Shape:             polystyrene.TorusShape(w, h, 1),
-		ReplicationFactor: 4,
-	})
-	if err != nil {
+	if err := demo(os.Stdout, 40, 20, 4, 20, 40); err != nil {
 		log.Fatal(err)
 	}
+}
 
-	sys.Run(20)
-	fmt.Printf("after convergence:   homogeneity %.3f, proximity %.3f, %d nodes\n",
+// demo runs the experiment on a w x h torus with replication factor k:
+// converge rounds of convergence, then the crash, then up to maxRounds
+// rounds of reshaping.
+func demo(out io.Writer, w, h, k, converge, maxRounds int) error {
+	sys, err := polystyrene.NewSystem(polystyrene.SystemConfig{
+		Seed:              1,
+		Space:             polystyrene.Torus(float64(w), float64(h)),
+		Shape:             polystyrene.TorusShape(w, h, 1),
+		ReplicationFactor: k,
+	})
+	if err != nil {
+		return err
+	}
+
+	sys.Run(converge)
+	fmt.Fprintf(out, "after convergence:   homogeneity %.3f, proximity %.3f, %d nodes\n",
 		sys.Homogeneity(), sys.Proximity(), sys.NumLive())
 
-	killed := sys.CrashRegion(func(p []float64) bool { return p[0] >= w/2 })
-	fmt.Printf("catastrophe:         crashed %d nodes (the whole right half)\n", killed)
+	killed := sys.CrashRegion(func(p []float64) bool { return p[0] >= float64(w)/2 })
+	fmt.Fprintf(out, "catastrophe:         crashed %d nodes (the whole right half)\n", killed)
 
 	ref := sys.ReferenceHomogeneity()
 	for round := 1; ; round++ {
 		sys.Run(1)
 		hom := sys.Homogeneity()
-		fmt.Printf("round +%2d:           homogeneity %.3f (target H = %.3f)\n", round, hom, ref)
+		fmt.Fprintf(out, "round +%2d:           homogeneity %.3f (target H = %.3f)\n", round, hom, ref)
 		if hom < ref {
-			fmt.Printf("reshaped in %d rounds; %.1f%% of the original data points survived\n",
+			fmt.Fprintf(out, "reshaped in %d rounds; %.1f%% of the original data points survived\n",
 				round, 100*sys.Reliability())
-			break
+			return nil
 		}
-		if round > 40 {
-			log.Fatal("did not reshape within 40 rounds")
+		if round > maxRounds {
+			return fmt.Errorf("did not reshape within %d rounds", maxRounds)
 		}
 	}
 }

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestDemoSmallTorusReshapes(t *testing.T) {
+	var buf strings.Builder
+	if err := demo(&buf, 16, 8, 4, 15, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "reshaped in") {
+		t.Fatalf("missing reshaping report in output:\n%s", buf.String())
+	}
+}
+
+func TestDemoDefaultScaleConfigIsValid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 800-node demo in -short mode")
+	}
+	if err := demo(io.Discard, 40, 20, 4, 20, 40); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -13,7 +13,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"polystyrene/internal/route"
 	"polystyrene/internal/scenario"
@@ -21,9 +23,13 @@ import (
 	"polystyrene/internal/space"
 )
 
-const w, h = 40, 20
+func main() {
+	if err := demo(os.Stdout, 40, 20); err != nil {
+		log.Fatal(err)
+	}
+}
 
-func run(poly bool) (route.ProbeStats, error) {
+func probe(poly bool, w, h int) (route.ProbeStats, error) {
 	sc, err := scenario.New(scenario.Config{
 		Seed: 9, W: w, H: h, Polystyrene: poly, K: 4, SkipMetrics: true,
 	})
@@ -41,8 +47,8 @@ func run(poly bool) (route.ProbeStats, error) {
 	}
 	// Probe targets spread across the crashed half.
 	var probes []space.Point
-	for x := float64(w)/2 + 2; x < w; x += 4 {
-		for y := 2.0; y < h; y += 5 {
+	for x := float64(w)/2 + 2; x < float64(w); x += 4 {
+		for y := 2.0; y < float64(h); y += 5 {
 			probes = append(probes, space.Point{x, y})
 		}
 	}
@@ -50,20 +56,21 @@ func run(poly bool) (route.ProbeStats, error) {
 	return r.Probe(sc.Engine, src, probes)
 }
 
-func main() {
-	fmt.Printf("greedy routing into the crashed half of a %dx%d torus\n\n", w, h)
+func demo(out io.Writer, w, h int) error {
+	fmt.Fprintf(out, "greedy routing into the crashed half of a %dx%d torus\n\n", w, h)
 	for _, poly := range []bool{false, true} {
 		name := "polystyrene"
 		if !poly {
 			name = "t-man only "
 		}
-		st, err := run(poly)
+		st, err := probe(poly, w, h)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%s  %2d routes: mean final distance %5.2f, worst %5.2f, mean hops %.1f\n",
+		fmt.Fprintf(out, "%s  %2d routes: mean final distance %5.2f, worst %5.2f, mean hops %.1f\n",
 			name, st.Routes, st.MeanFinalDistance(), st.WorstFinalDistance, st.MeanHops())
 	}
-	fmt.Println("\nOver the recovered shape, greedy routing delivers next to every target;")
-	fmt.Println("over the collapsed one it stalls at the old failure boundary.")
+	fmt.Fprintln(out, "\nOver the recovered shape, greedy routing delivers next to every target;")
+	fmt.Fprintln(out, "over the collapsed one it stalls at the old failure boundary.")
+	return nil
 }

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDemoRoutesBothConfigurations(t *testing.T) {
+	var buf strings.Builder
+	if err := demo(&buf, 16, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"polystyrene", "t-man only", "routes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

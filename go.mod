@@ -1,0 +1,3 @@
+module polystyrene
+
+go 1.24

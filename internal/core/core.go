@@ -261,21 +261,35 @@ func (p *Protocol) backup(e *sim.Engine, id sim.NodeID) {
 	// Push guests to every backup (lines 3-4). The stored ghosts are a
 	// full replacement; the *charged* traffic is the incremental delta
 	// (Sec. III-D optimisation) unless FullCopyBackup is set.
+	//
+	// The guest set is fixed for the duration of the loop, so one shared
+	// snapshot and one shared key set serve all K targets: ghost slices
+	// and pushed-key maps are only ever read after this point (points are
+	// immutable, guest replacements are wholesale), never mutated.
+	if len(st.backups) == 0 {
+		return
+	}
 	ptCost := sim.PointCost(p.cfg.Space.Dim())
-	for _, b := range st.backups {
-		bst := p.nodes[b]
-		bst.ghosts[id] = clonePoints(st.guests)
-
-		if p.cfg.FullCopyBackup {
+	snapshot := clonePoints(st.guests)
+	if p.cfg.FullCopyBackup {
+		for _, b := range st.backups {
+			p.nodes[b].ghosts[id] = snapshot
 			e.Charge(len(st.guests) * ptCost)
-			continue
 		}
+		return
+	}
+	keys := make([]string, len(st.guests))
+	now := make(map[string]bool, len(st.guests))
+	for i, g := range st.guests {
+		keys[i] = g.Key()
+		now[keys[i]] = true
+	}
+	for _, b := range st.backups {
+		p.nodes[b].ghosts[id] = snapshot
+
 		prev := st.pushed[b]
-		now := make(map[string]bool, len(st.guests))
 		delta := 0
-		for _, g := range st.guests {
-			k := g.Key()
-			now[k] = true
+		for _, k := range keys {
 			if !prev[k] {
 				delta++ // point added since last push
 			}

@@ -11,6 +11,11 @@
 // Following the paper's accounting ("we ... do not include the peer
 // sampling protocol in our measurements", Sec. IV-A), this layer does not
 // charge the engine's cost meter.
+//
+// Views are small (tens of entries), so membership tests are linear scans
+// and per-exchange buffers are pooled on the protocol instance — a shuffle
+// performs no map operations and no steady-state allocations. The engine
+// is sequential, so one scratch set per protocol instance is safe.
 package rps
 
 import (
@@ -55,6 +60,13 @@ type entry struct {
 type Protocol struct {
 	cfg   Config
 	views [][]entry
+
+	// Reusable per-exchange scratch: candidate indices for sampling and
+	// the two in-flight message buffers (both live across a merge pair, so
+	// they need separate backing arrays).
+	idxBuf []int
+	bufA   []entry
+	bufB   []entry
 }
 
 var _ sim.Protocol = (*Protocol)(nil)
@@ -79,18 +91,27 @@ func (p *Protocol) InitNode(e *sim.Engine, id sim.NodeID) {
 
 func (p *Protocol) bootstrapView(e *sim.Engine, id sim.NodeID) []entry {
 	view := make([]entry, 0, p.cfg.ViewSize)
-	seen := map[sim.NodeID]bool{id: true}
 	// Sample without replacement from the live set via rejection; the
 	// join-time live set is usually much larger than the view.
 	for attempts := 0; len(view) < p.cfg.ViewSize && attempts < 20*p.cfg.ViewSize; attempts++ {
 		peer := e.RandomLive()
-		if peer == sim.None || seen[peer] {
+		if peer == sim.None || peer == id || viewContains(view, peer) {
 			continue
 		}
-		seen[peer] = true
 		view = append(view, entry{id: peer})
 	}
 	return view
+}
+
+// viewContains reports whether id occurs in view. Views hold at most a few
+// tens of entries, so a linear scan beats any set structure.
+func viewContains(view []entry, id sim.NodeID) bool {
+	for _, en := range view {
+		if en.id == id {
+			return true
+		}
+	}
+	return false
 }
 
 // Step implements sim.Protocol: one Cyclon shuffle initiated by id.
@@ -124,31 +145,39 @@ func (p *Protocol) Step(e *sim.Engine, id sim.NodeID) {
 	}
 
 	p.purgeDead(e, q)
-	sentToQ := p.sampleForShuffle(e, id, q, p.cfg.ShuffleLen-1)
+	sentToQ := p.sampleForShuffle(e, id, q, p.cfg.ShuffleLen-1, &p.bufA)
 	sentToQ = append(sentToQ, entry{id: id, age: 0}) // fresh self-descriptor
-	sentToP := p.sampleForShuffle(e, q, id, p.cfg.ShuffleLen)
+	p.bufA = sentToQ
+	sentToP := p.sampleForShuffle(e, q, id, p.cfg.ShuffleLen, &p.bufB)
 
 	p.merge(id, sentToP, sentToQ)
 	p.merge(q, sentToQ, sentToP)
 }
 
 // sampleForShuffle picks up to n random entries from owner's view,
-// excluding peer itself.
-func (p *Protocol) sampleForShuffle(e *sim.Engine, owner, peer sim.NodeID, n int) []entry {
+// excluding peer itself, into the pooled buffer buf.
+func (p *Protocol) sampleForShuffle(e *sim.Engine, owner, peer sim.NodeID, n int, buf *[]entry) []entry {
 	view := p.views[owner]
-	candidates := make([]int, 0, len(view))
+	cand := p.idxBuf[:0]
 	for i, en := range view {
 		if en.id != peer {
-			candidates = append(candidates, i)
+			cand = append(cand, i)
 		}
 	}
-	if n > len(candidates) {
-		n = len(candidates)
+	p.idxBuf = cand
+	if n > len(cand) {
+		n = len(cand)
 	}
-	out := make([]entry, 0, n+1)
-	for _, idx := range e.Rand().Sample(len(candidates), n) {
-		out = append(out, view[candidates[idx]])
+	// Partial Fisher-Yates over the candidate indices: the first n slots
+	// become a uniform sample without replacement.
+	out := (*buf)[:0]
+	rng := e.Rand()
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(len(cand)-i)
+		cand[i], cand[j] = cand[j], cand[i]
+		out = append(out, view[cand[i]])
 	}
+	*buf = out
 	return out
 }
 
@@ -157,21 +186,11 @@ func (p *Protocol) sampleForShuffle(e *sim.Engine, owner, peer sim.NodeID, n int
 // the entries owner just sent away.
 func (p *Protocol) merge(owner sim.NodeID, received, sent []entry) {
 	view := p.views[owner]
-	present := make(map[sim.NodeID]bool, len(view)+1)
-	present[owner] = true
-	for _, en := range view {
-		present[en.id] = true
-	}
 	sentIdx := 0
-	sentSet := make(map[sim.NodeID]bool, len(sent))
-	for _, en := range sent {
-		sentSet[en.id] = true
-	}
 	for _, en := range received {
-		if present[en.id] {
+		if en.id == owner || viewContains(view, en.id) {
 			continue
 		}
-		present[en.id] = true
 		if len(view) < p.cfg.ViewSize {
 			view = append(view, en)
 			continue
@@ -179,7 +198,7 @@ func (p *Protocol) merge(owner sim.NodeID, received, sent []entry) {
 		// Replace one of the entries we sent away, if any remain.
 		replaced := false
 		for ; sentIdx < len(view); sentIdx++ {
-			if sentSet[view[sentIdx].id] {
+			if viewContains(sent, view[sentIdx].id) {
 				view[sentIdx] = en
 				sentIdx++
 				replaced = true
@@ -234,9 +253,20 @@ func (p *Protocol) RandomPeers(e *sim.Engine, id sim.NodeID, n int) []sim.NodeID
 	if n > len(view) {
 		n = len(view)
 	}
+	if n <= 0 {
+		return nil
+	}
+	cand := p.idxBuf[:0]
+	for i := range view {
+		cand = append(cand, i)
+	}
+	p.idxBuf = cand
 	out := make([]sim.NodeID, 0, n)
-	for _, idx := range e.Rand().Sample(len(view), n) {
-		out = append(out, view[idx].id)
+	rng := e.Rand()
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(len(cand)-i)
+		cand[i], cand[j] = cand[j], cand[i]
+		out = append(out, view[cand[i]].id)
 	}
 	return out
 }

@@ -1,0 +1,38 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// BenchmarkMeasureReshaping measures the full-stack reshaping experiment
+// at a small grid — the unit of work every sweep cell executes.
+func BenchmarkMeasureReshaping(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := MeasureReshaping(
+			Config{Seed: 1, W: 16, H: 8, Polystyrene: true, K: 4}, 15, 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !out.Reached {
+			b.Fatal("did not reshape")
+		}
+	}
+}
+
+// BenchmarkSizeSweepParallel measures a small multi-cell sweep with the
+// runner fan-out across all cores, the polysweep execution path.
+func BenchmarkSizeSweepParallel(b *testing.B) {
+	sizes := []GridSize{{16, 8}, {20, 10}}
+	variants := map[string]func(Config) Config{
+		"K2": func(c Config) Config { c.K = 2; return c },
+		"K4": func(c Config) Config { c.K = 4; return c },
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SizeSweep(Config{Seed: 2}, sizes, variants,
+			RunOpts{Reps: 2, ConvergeRounds: 15, MaxRounds: 40}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package scenario
 
-import "fmt"
+import (
+	"fmt"
+
+	"polystyrene/internal/runner"
+)
 
 // ChurnConfig drives a sustained-churn experiment: every round a fraction
 // of the live population crashes and (optionally) the same number of
@@ -69,20 +73,40 @@ func RunChurn(cfg Config, churn ChurnConfig, convergeRounds, settleRounds int) (
 	return out, nil
 }
 
+// ChurnSweepOpts bundles the execution parameters of a churn-rate sweep,
+// mirroring RunOpts for the reshaping harnesses.
+type ChurnSweepOpts struct {
+	// ChurnRounds is the churn period length per rate.
+	ChurnRounds int
+	// ConvergeRounds precedes the churn period.
+	ConvergeRounds int
+	// SettleRounds of quiet follow the churn before measuring.
+	SettleRounds int
+	// Parallelism bounds concurrent rates: 0 means GOMAXPROCS, 1 serial.
+	Parallelism int
+}
+
 // ChurnSweep measures shape survival across churn rates, one outcome per
-// rate, using the parallel runner.
-func ChurnSweep(base Config, rates []float64, churnRounds, convergeRounds, settleRounds int) ([]ChurnOutcome, error) {
+// rate. Rates run concurrently via the parallel runner (each owns its
+// engine and seed), bounded by opts.Parallelism; results land at their
+// rate's index, so the output is deterministic regardless of scheduling.
+func ChurnSweep(base Config, rates []float64, opts ChurnSweepOpts) ([]ChurnOutcome, error) {
 	outs := make([]ChurnOutcome, len(rates))
-	for i, rate := range rates {
+	err := runner.Map(opts.Parallelism, len(rates), func(i int) error {
 		cfg := base
 		cfg.Seed = base.Seed + uint64(i)
 		cfg.Polystyrene = true
-		out, err := RunChurn(cfg, ChurnConfig{Rate: rate, Replace: true, Rounds: churnRounds},
-			convergeRounds, settleRounds)
+		out, err := RunChurn(cfg,
+			ChurnConfig{Rate: rates[i], Replace: true, Rounds: opts.ChurnRounds},
+			opts.ConvergeRounds, opts.SettleRounds)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		outs[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return outs, nil
 }

@@ -87,6 +87,21 @@ func MeasureReshaping(cfg Config, convergeRounds, maxRounds int) (ReshapingOutco
 	}, nil
 }
 
+// RunOpts bundles the execution parameters shared by the repeated-run
+// harnesses (Table II, Fig. 10 sweeps).
+type RunOpts struct {
+	// Reps is the number of repetitions per measured point.
+	Reps int
+	// ConvergeRounds is how long the system converges before the failure.
+	ConvergeRounds int
+	// MaxRounds is the round budget for reshaping after the failure.
+	MaxRounds int
+	// Parallelism bounds how many cells run concurrently: 0 means
+	// GOMAXPROCS, 1 runs serially. Results are identical at every level —
+	// each cell owns its engine and PRNG, and results fold in index order.
+	Parallelism int
+}
+
 // TableIIRow aggregates repeated reshaping measurements for one K.
 type TableIIRow struct {
 	K               int
@@ -96,20 +111,21 @@ type TableIIRow struct {
 }
 
 // TableII reproduces Table II: reshaping time and reliability on the
-// configured torus for each replication factor, averaged over reps runs.
-// Repetitions run concurrently (each owns its engine); results are folded
-// in repetition order so the output is deterministic.
-func TableII(base Config, ks []int, reps, convergeRounds, maxRounds int) ([]TableIIRow, error) {
+// configured torus for each replication factor, averaged over opts.Reps
+// runs. Repetitions fan out across cores via the runner (each owns its
+// engine); results are folded in repetition order so the output is
+// deterministic regardless of opts.Parallelism.
+func TableII(base Config, ks []int, opts RunOpts) ([]TableIIRow, error) {
 	rows := make([]TableIIRow, len(ks))
-	outcomes := make([]ReshapingOutcome, len(ks)*reps)
-	err := runner.Map(0, len(outcomes), func(job int) error {
-		k := ks[job/reps]
-		rep := job % reps
+	outcomes := make([]ReshapingOutcome, len(ks)*opts.Reps)
+	err := runner.Map(opts.Parallelism, len(outcomes), func(job int) error {
+		k := ks[job/opts.Reps]
+		rep := job % opts.Reps
 		cfg := base
 		cfg.Polystyrene = true
 		cfg.K = k
 		cfg.Seed = base.Seed + uint64(1000*k+rep)
-		out, err := MeasureReshaping(cfg, convergeRounds, maxRounds)
+		out, err := MeasureReshaping(cfg, opts.ConvergeRounds, opts.MaxRounds)
 		if err != nil {
 			return err
 		}
@@ -121,8 +137,8 @@ func TableII(base Config, ks []int, reps, convergeRounds, maxRounds int) ([]Tabl
 	}
 	for i, k := range ks {
 		rows[i].K = k
-		for rep := 0; rep < reps; rep++ {
-			out := outcomes[i*reps+rep]
+		for rep := 0; rep < opts.Reps; rep++ {
+			out := outcomes[i*opts.Reps+rep]
 			if !out.Reached {
 				rows[i].FailedToReshape++
 			}
@@ -160,10 +176,11 @@ func PaperGridSizes(maxNodes int) []GridSize {
 
 // SizeSweep measures reshaping time across network sizes for a family of
 // configurations (Fig. 10a varies K; Fig. 10b varies the split function).
-// variants maps a label to a mutation of the base config. Cells run
-// concurrently; results fold in deterministic order.
+// variants maps a label to a mutation of the base config. Grid cells fan
+// out across cores via the runner; results fold in deterministic order,
+// so the output is identical at every opts.Parallelism level.
 func SizeSweep(base Config, sizes []GridSize, variants map[string]func(Config) Config,
-	reps, convergeRounds, maxRounds int) (map[string][]SweepPoint, error) {
+	opts RunOpts) (map[string][]SweepPoint, error) {
 
 	labels := make([]string, 0, len(variants))
 	for label := range variants {
@@ -176,23 +193,23 @@ func SizeSweep(base Config, sizes []GridSize, variants map[string]func(Config) C
 		size  GridSize
 		rep   int
 	}
-	cells := make([]cell, 0, len(labels)*len(sizes)*reps)
+	cells := make([]cell, 0, len(labels)*len(sizes)*opts.Reps)
 	for _, label := range labels {
 		for _, size := range sizes {
-			for rep := 0; rep < reps; rep++ {
+			for rep := 0; rep < opts.Reps; rep++ {
 				cells = append(cells, cell{label: label, size: size, rep: rep})
 			}
 		}
 	}
 
 	rounds := make([]float64, len(cells))
-	err := runner.Map(0, len(cells), func(i int) error {
+	err := runner.Map(opts.Parallelism, len(cells), func(i int) error {
 		c := cells[i]
 		cfg := variants[c.label](base)
 		cfg.Polystyrene = true
 		cfg.W, cfg.H = c.size.W, c.size.H
 		cfg.Seed = base.Seed + uint64(c.size.W*c.size.H+c.rep)
-		res, err := MeasureReshaping(cfg, convergeRounds, maxRounds)
+		res, err := MeasureReshaping(cfg, opts.ConvergeRounds, opts.MaxRounds)
 		if err != nil {
 			return err
 		}
@@ -209,7 +226,7 @@ func SizeSweep(base Config, sizes []GridSize, variants map[string]func(Config) C
 		points := make([]SweepPoint, 0, len(sizes))
 		for _, size := range sizes {
 			pt := SweepPoint{Nodes: size.W * size.H, Label: label}
-			for rep := 0; rep < reps; rep++ {
+			for rep := 0; rep < opts.Reps; rep++ {
 				pt.ReshapingTime.Add(rounds[i])
 				i++
 			}

@@ -207,7 +207,7 @@ func TestMeasureReshaping(t *testing.T) {
 func TestTableIIOrdering(t *testing.T) {
 	// Higher K ⇒ better reliability (Table II); reshaping time grows with
 	// K (more redundant copies to deduplicate).
-	rows, err := TableII(smallCfg(10, true), []int{2, 8}, 3, 15, 40)
+	rows, err := TableII(smallCfg(10, true), []int{2, 8}, RunOpts{Reps: 3, ConvergeRounds: 15, MaxRounds: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +229,7 @@ func TestSizeSweepRuns(t *testing.T) {
 	variants := map[string]func(Config) Config{
 		"K4": func(c Config) Config { c.K = 4; return c },
 	}
-	out, err := SizeSweep(Config{Seed: 11}, sizes, variants, 1, 15, 40)
+	out, err := SizeSweep(Config{Seed: 11}, sizes, variants, RunOpts{Reps: 1, ConvergeRounds: 15, MaxRounds: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +397,7 @@ func TestShapeSurvivesModerateChurn(t *testing.T) {
 }
 
 func TestChurnSweepMonotoneDamage(t *testing.T) {
-	outs, err := ChurnSweep(smallCfg(32, true), []float64{0, 0.05}, 20, 10, 10)
+	outs, err := ChurnSweep(smallCfg(32, true), []float64{0, 0.05}, ChurnSweepOpts{ChurnRounds: 20, ConvergeRounds: 10, SettleRounds: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

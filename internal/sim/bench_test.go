@@ -1,0 +1,91 @@
+package sim
+
+import "testing"
+
+// noopLayer isolates engine scheduling overhead from protocol work.
+type noopLayer struct{ name string }
+
+func (n noopLayer) Name() string             { return n.name }
+func (n noopLayer) InitNode(*Engine, NodeID) {}
+func (n noopLayer) Step(*Engine, NodeID)     {}
+
+// chargeLayer stresses the meter hot path.
+type chargeLayer struct{}
+
+func (chargeLayer) Name() string             { return "charge" }
+func (chargeLayer) InitNode(*Engine, NodeID) {}
+func (chargeLayer) Step(e *Engine, _ NodeID) { e.Charge(3) }
+
+// BenchmarkRunRoundsScheduling measures pure per-round scheduling cost —
+// the once-per-round shuffle into the reused order buffer, walked by
+// three layers — at the paper's full 51,200-node scale.
+func BenchmarkRunRoundsScheduling(b *testing.B) {
+	e := New(1, noopLayer{"a"}, noopLayer{"b"}, noopLayer{"c"})
+	e.AddNodes(51200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunRounds(1)
+	}
+}
+
+// BenchmarkMeterCharge measures the flat-ledger charge path.
+func BenchmarkMeterCharge(b *testing.B) {
+	e := New(2, chargeLayer{})
+	e.AddNodes(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunRounds(1)
+	}
+}
+
+// BenchmarkRandomLiveAfterCatastrophe measures live-node sampling when
+// 99% of the fleet is dead — the regime right after the paper's
+// correlated failure, where a scanning implementation degrades.
+func BenchmarkRandomLiveAfterCatastrophe(b *testing.B) {
+	e := New(3, noopLayer{"a"})
+	e.AddNodes(51200)
+	for id := NodeID(0); id < 50688; id++ {
+		e.Kill(id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e.RandomLive() == None {
+			b.Fatal("empty system")
+		}
+	}
+}
+
+// BenchmarkLiveIDsAfterCatastrophe measures live-set enumeration in the
+// same mostly-dead regime: cost must scale with survivors, not history.
+func BenchmarkLiveIDsAfterCatastrophe(b *testing.B) {
+	e := New(4, noopLayer{"a"})
+	e.AddNodes(51200)
+	for id := NodeID(0); id < 50688; id++ {
+		e.Kill(id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(e.LiveIDs()) != 512 {
+			b.Fatal("wrong live count")
+		}
+	}
+}
+
+// BenchmarkKill measures crash bookkeeping (swap-remove) including the
+// re-add path, by alternating kill waves with reinjection.
+func BenchmarkKill(b *testing.B) {
+	e := New(5, noopLayer{"a"})
+	ids := e.AddNodes(8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.KillAll(ids)
+		b.StopTimer()
+		ids = e.AddNodes(8192)
+		b.StartTimer()
+	}
+}

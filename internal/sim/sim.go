@@ -1,19 +1,28 @@
 // Package sim provides the cycle-driven simulation engine the evaluation
 // runs on. It is our substitute for PeerSim (Montresor & Jelasity, P2P'09),
 // which the paper used: protocols are layered, the engine steps every live
-// node once per layer per round (in a fresh random order), events such as
-// catastrophic failures and node reinjection are scheduled at specific
-// rounds, and a cost meter records the communication units each layer
-// spends, using the paper's unit model (1 node ID = 1 coordinate = 1 unit).
+// node once per layer per round (in a random order drawn fresh each round),
+// events such as catastrophic failures and node reinjection are scheduled
+// at specific rounds, and a cost meter records the communication units each
+// layer spends, using the paper's unit model (1 node ID = 1 coordinate = 1
+// unit).
 //
 // The engine is deliberately sequential: gossip exchanges are pair-wise
 // atomic by construction ("q should not be interacting with anyone else
 // than p while the exchange occurs", Sec. III-F), and sequential execution
 // with a seeded PRNG makes every experiment exactly reproducible.
+//
+// The engine is built for full-paper-scale (51,200-node) sweeps: the live
+// population is tracked in a dense swap-remove set so RandomLive is O(1)
+// and LiveIDs touches only survivors even after a catastrophe kills most
+// of the fleet, the per-round step order is shuffled once per round into a
+// reused buffer shared by all layers, and the meter accumulates costs in
+// flat per-layer round ledgers instead of nested maps.
 package sim
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"polystyrene/internal/xrand"
@@ -51,28 +60,44 @@ type Event func(e *Engine)
 
 // Engine drives a layered gossip simulation.
 type Engine struct {
-	rng       *xrand.Rand
-	layers    []Protocol
-	alive     []bool
-	liveCount int
-	round     int
+	rng    *xrand.Rand
+	layers []Protocol
+	// alive[id] reports liveness; live is the dense, unordered set of live
+	// IDs and livePos[id] is id's index in live (-1 when dead), so Kill is
+	// a swap-remove and RandomLive a single bounded draw.
+	alive   []bool
+	live    []NodeID
+	livePos []int32
+	round   int
 
 	events    map[int][]Event
 	observers []Observer
 
-	meter        *Meter
-	currentLayer string
+	meter *Meter
+	// curLayer is the meter ledger index costs are attributed to; -1 means
+	// outside any protocol (the "external" pseudo-layer).
+	curLayer int
+	// layerLedger[i] is the meter ledger index of layers[i].
+	layerLedger []int
+	// order is the per-round step-order buffer, reused across rounds.
+	order []NodeID
 }
 
 // New returns an engine seeded with seed and running the given layers,
 // bottom layer first.
 func New(seed uint64, layers ...Protocol) *Engine {
-	return &Engine{
-		rng:    xrand.New(seed),
-		layers: layers,
-		events: make(map[int][]Event),
-		meter:  newMeter(),
+	e := &Engine{
+		rng:      xrand.New(seed),
+		layers:   layers,
+		events:   make(map[int][]Event),
+		meter:    newMeter(),
+		curLayer: -1,
 	}
+	e.layerLedger = make([]int, len(layers))
+	for i, l := range layers {
+		e.layerLedger[i] = e.meter.ledgerIndex(l.Name())
+	}
+	return e
 }
 
 // Rand exposes the engine's deterministic random source. Protocols should
@@ -84,17 +109,19 @@ func (e *Engine) Rand() *xrand.Rand { return e.rng }
 func (e *Engine) Round() int { return e.round }
 
 // AddNode creates a new live node and initialises every layer for it. It
-// returns the new node's ID.
+// returns the new node's ID. A node added while a round is executing joins
+// the step rotation from the next round.
 func (e *Engine) AddNode() NodeID {
 	id := NodeID(len(e.alive))
 	e.alive = append(e.alive, true)
-	e.liveCount++
-	for _, l := range e.layers {
-		prev := e.currentLayer
-		e.currentLayer = l.Name()
+	e.livePos = append(e.livePos, int32(len(e.live)))
+	e.live = append(e.live, id)
+	prev := e.curLayer
+	for i, l := range e.layers {
+		e.curLayer = e.layerLedger[i]
 		l.InitNode(e, id)
-		e.currentLayer = prev
 	}
+	e.curLayer = prev
 	return id
 }
 
@@ -111,7 +138,7 @@ func (e *Engine) AddNodes(n int) []NodeID {
 func (e *Engine) NumNodes() int { return len(e.alive) }
 
 // NumLive returns how many nodes are currently alive.
-func (e *Engine) NumLive() int { return e.liveCount }
+func (e *Engine) NumLive() int { return len(e.live) }
 
 // Alive reports whether id is a live node. Unknown IDs are not alive.
 func (e *Engine) Alive(id NodeID) bool {
@@ -121,10 +148,16 @@ func (e *Engine) Alive(id NodeID) bool {
 // Kill crashes node id (crash-stop: it never recovers). Killing a dead or
 // unknown node is a no-op, mirroring the idempotence of real crashes.
 func (e *Engine) Kill(id NodeID) {
-	if e.Alive(id) {
-		e.alive[id] = false
-		e.liveCount--
+	if !e.Alive(id) {
+		return
 	}
+	e.alive[id] = false
+	p := e.livePos[id]
+	last := e.live[len(e.live)-1]
+	e.live[p] = last
+	e.livePos[last] = p
+	e.live = e.live[:len(e.live)-1]
+	e.livePos[id] = -1
 }
 
 // KillAll crashes every node in ids.
@@ -134,33 +167,23 @@ func (e *Engine) KillAll(ids []NodeID) {
 	}
 }
 
-// LiveIDs returns the IDs of all live nodes in ascending order.
+// LiveIDs returns the IDs of all live nodes in ascending order. The
+// returned slice is a fresh copy the caller may retain or mutate; its cost
+// scales with the number of survivors, not with every node ever created.
 func (e *Engine) LiveIDs() []NodeID {
-	ids := make([]NodeID, 0, e.liveCount)
-	for i, a := range e.alive {
-		if a {
-			ids = append(ids, NodeID(i))
-		}
-	}
+	ids := make([]NodeID, len(e.live))
+	copy(ids, e.live)
+	slices.Sort(ids)
 	return ids
 }
 
 // RandomLive returns a uniformly random live node, or None when the system
-// is empty. It is O(1) in the common case and falls back to a scan when
-// most nodes are dead.
+// is empty. It is O(1) regardless of how many nodes have died.
 func (e *Engine) RandomLive() NodeID {
-	if e.liveCount == 0 {
+	if len(e.live) == 0 {
 		return None
 	}
-	// Rejection sampling: expected iterations = total/live.
-	for tries := 0; tries < 64; tries++ {
-		id := NodeID(e.rng.Intn(len(e.alive)))
-		if e.alive[id] {
-			return id
-		}
-	}
-	live := e.LiveIDs()
-	return live[e.rng.Intn(len(live))]
+	return e.live[e.rng.Intn(len(e.live))]
 }
 
 // ScheduleAt registers fn to run at the start of the given round. Multiple
@@ -186,16 +209,16 @@ func (e *Engine) Meter() *Meter { return e.meter }
 // Calling Charge outside a protocol step or init attributes the cost to
 // the pseudo-layer "external".
 func (e *Engine) Charge(units int) {
-	layer := e.currentLayer
-	if layer == "" {
-		layer = "external"
+	idx := e.curLayer
+	if idx < 0 {
+		idx = e.meter.ledgerIndex("external")
 	}
-	e.meter.charge(layer, e.round, units)
+	e.meter.charge(idx, e.round, units)
 }
 
 // RunRounds executes n rounds. Each round: fire the round's events, then
-// step each layer bottom-up, visiting live nodes in a fresh random order,
-// then invoke observers.
+// step each layer bottom-up, visiting live nodes in a random order drawn
+// once per round and shared by all layers.
 func (e *Engine) RunRounds(n int) {
 	for i := 0; i < n; i++ {
 		e.runOne()
@@ -222,29 +245,26 @@ func (e *Engine) runOne() {
 	}
 	delete(e.events, e.round)
 
-	for _, layer := range e.layers {
-		e.currentLayer = layer.Name()
-		for _, id := range e.shuffledLive() {
-			// A node may die from another node's step (not in this model,
-			// but guard for protocol extensions that kill peers).
+	// One shuffle per round, into a buffer reused across rounds; every
+	// layer walks the same order. A node may die mid-round (killed by a
+	// peer's step in extended protocols), hence the aliveness guard.
+	e.order = append(e.order[:0], e.live...)
+	e.rng.Shuffle(len(e.order), func(i, j int) { e.order[i], e.order[j] = e.order[j], e.order[i] })
+
+	for i, layer := range e.layers {
+		e.curLayer = e.layerLedger[i]
+		for _, id := range e.order {
 			if e.alive[id] {
 				layer.Step(e, id)
 			}
 		}
-		e.currentLayer = ""
+		e.curLayer = -1
 	}
 
 	for _, o := range e.observers {
 		o(e, e.round)
 	}
 	e.round++
-}
-
-// shuffledLive returns the live node IDs in a fresh random order.
-func (e *Engine) shuffledLive() []NodeID {
-	ids := e.LiveIDs()
-	e.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
-	return ids
 }
 
 // Layer returns the layer with the given name, or nil. Useful for tests
@@ -271,41 +291,72 @@ func (e *Engine) LayerNames() []string {
 // round, following the paper's accounting model (Sec. IV-A): a node ID and
 // a single coordinate both cost 1 unit, so a node descriptor (ID + 2D
 // position) costs 3 units and a bare 2D data point costs 2.
+//
+// Storage is one flat ledger slice per layer, indexed by round — charging
+// on the hot path is two slice indexings, with no map or allocation.
 type Meter struct {
-	perLayerRound map[string]map[int]int
+	index   map[string]int
+	names   []string
+	ledgers [][]int
+	charged []bool
 }
 
 func newMeter() *Meter {
-	return &Meter{perLayerRound: make(map[string]map[int]int)}
+	return &Meter{index: make(map[string]int)}
 }
 
-func (m *Meter) charge(layer string, round, units int) {
-	lr, ok := m.perLayerRound[layer]
-	if !ok {
-		lr = make(map[int]int)
-		m.perLayerRound[layer] = lr
+// ledgerIndex returns the ledger slot for layer, registering it on first
+// use.
+func (m *Meter) ledgerIndex(layer string) int {
+	if i, ok := m.index[layer]; ok {
+		return i
 	}
-	lr[round] += units
+	i := len(m.names)
+	m.index[layer] = i
+	m.names = append(m.names, layer)
+	m.ledgers = append(m.ledgers, nil)
+	m.charged = append(m.charged, false)
+	return i
+}
+
+func (m *Meter) charge(idx, round, units int) {
+	ledger := m.ledgers[idx]
+	for len(ledger) <= round {
+		ledger = append(ledger, 0)
+	}
+	ledger[round] += units
+	m.ledgers[idx] = ledger
+	m.charged[idx] = true
 }
 
 // RoundCost returns the units layer spent in the given round.
 func (m *Meter) RoundCost(layer string, round int) int {
-	return m.perLayerRound[layer][round]
+	i, ok := m.index[layer]
+	if !ok || round < 0 || round >= len(m.ledgers[i]) {
+		return 0
+	}
+	return m.ledgers[i][round]
 }
 
 // TotalRoundCost returns the units all layers spent in the given round.
 func (m *Meter) TotalRoundCost(round int) int {
 	total := 0
-	for _, lr := range m.perLayerRound {
-		total += lr[round]
+	for _, ledger := range m.ledgers {
+		if round >= 0 && round < len(ledger) {
+			total += ledger[round]
+		}
 	}
 	return total
 }
 
 // TotalCost returns the units layer has spent across all rounds.
 func (m *Meter) TotalCost(layer string) int {
+	i, ok := m.index[layer]
+	if !ok {
+		return 0
+	}
 	total := 0
-	for _, units := range m.perLayerRound[layer] {
+	for _, units := range m.ledgers[i] {
 		total += units
 	}
 	return total
@@ -313,9 +364,11 @@ func (m *Meter) TotalCost(layer string) int {
 
 // Layers returns the names of all layers that have been charged, sorted.
 func (m *Meter) Layers() []string {
-	names := make([]string, 0, len(m.perLayerRound))
-	for name := range m.perLayerRound {
-		names = append(names, name)
+	names := make([]string, 0, len(m.names))
+	for i, name := range m.names {
+		if m.charged[i] {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 	return names

@@ -193,7 +193,7 @@ func TestRandomLive(t *testing.T) {
 		t.Fatal("RandomLive on empty system should be None")
 	}
 	e.AddNodes(100)
-	// Kill most nodes to force the fallback path.
+	// Kill most nodes: sampling must stay exact over the dense live set.
 	for i := 0; i < 99; i++ {
 		e.Kill(NodeID(i))
 	}

@@ -1,6 +1,9 @@
 package space
 
-import "polystyrene/internal/xrand"
+import (
+	"polystyrene/internal/topk"
+	"polystyrene/internal/xrand"
+)
 
 // Medoid returns the medoid of points under s: the element x0 that
 // minimises the sum of squared distances to all other elements
@@ -142,33 +145,20 @@ func Nearest(s Space, x Point, points []Point) (int, float64) {
 }
 
 // KNearest returns the indices of the k nearest elements of points to x,
-// ordered by increasing distance. When k >= len(points) all indices are
-// returned. The implementation keeps a simple insertion-sorted window,
-// which is optimal for the small k (4, 5) used throughout the system.
+// ordered by increasing distance (ties toward the lower index). When
+// k >= len(points) all indices are returned. Selection is delegated to
+// topk.SmallestK, the same partial-selection pass the gossip layers use,
+// so there is a single tie-break semantics across the system.
 func KNearest(s Space, x Point, points []Point, k int) []int {
 	if k <= 0 {
 		return nil
 	}
-	if k > len(points) {
-		k = len(points)
-	}
-	idx := make([]int, 0, k)
-	dst := make([]float64, 0, k)
+	dist := make([]float64, len(points))
+	idx := make([]int, len(points))
 	for i, p := range points {
-		d := s.Distance(x, p)
-		if len(idx) < k {
-			idx = append(idx, i)
-			dst = append(dst, d)
-		} else if d >= dst[k-1] {
-			continue
-		} else {
-			idx[k-1], dst[k-1] = i, d
-		}
-		// Bubble the newly placed entry into sorted position.
-		for j := len(idx) - 1; j > 0 && dst[j] < dst[j-1]; j-- {
-			idx[j], idx[j-1] = idx[j-1], idx[j]
-			dst[j], dst[j-1] = dst[j-1], dst[j]
-		}
+		dist[i] = s.Distance(x, p)
+		idx[i] = i
 	}
-	return idx
+	k = topk.SmallestK(dist, idx, k)
+	return idx[:k]
 }

@@ -205,10 +205,18 @@ func (t Torus) Distance(a, b Point) float64 {
 
 // wrapDelta returns the magnitude of the shorter arc for a signed
 // difference on a circle of circumference w.
+//
+// Coordinates in this system are canonical (in [0, w)) in the overwhelming
+// majority of calls, so |d| < w and the math.Mod reduction — the single
+// most expensive operation of the whole distance hot path — can be skipped.
+// Both branches compute identical values: for |d| < w, math.Mod(d, w)
+// returns d exactly.
 func wrapDelta(d, w float64) float64 {
-	d = math.Mod(d, w)
 	if d < 0 {
-		d += w
+		d = -d
+	}
+	if d >= w {
+		d = math.Mod(d, w)
 	}
 	if d > w/2 {
 		d = w - d

@@ -435,6 +435,7 @@ func TestGridPanics(t *testing.T) {
 func BenchmarkTorusDistance(b *testing.B) {
 	tor := NewTorus(80, 40)
 	a, c := Point{1, 2}, Point{70, 30}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = tor.Distance(a, c)
 	}
@@ -447,6 +448,7 @@ func BenchmarkMedoid20(b *testing.B) {
 	for i := range pts {
 		pts[i] = Point{80 * r.Float64(), 40 * r.Float64()}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = Medoid(tor, pts)

@@ -1,0 +1,56 @@
+package tman
+
+import (
+	"testing"
+
+	"polystyrene/internal/rps"
+	"polystyrene/internal/sim"
+	"polystyrene/internal/space"
+)
+
+// benchNet assembles RPS + T-Man over a torus grid, the configuration
+// whose view selection dominates whole-simulator CPU time.
+func benchNet(b *testing.B, w, h int) (*sim.Engine, *Protocol) {
+	b.Helper()
+	s := space.TorusForGrid(w, h, 1)
+	pts := space.TorusGrid(w, h, 1)
+	sampler := rps.New(rps.Config{})
+	tm, err := New(Config{
+		Space:    s,
+		Sampler:  sampler,
+		Position: func(id sim.NodeID) space.Point { return pts[id] },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := sim.New(1, sampler, tm)
+	e.AddNodes(w * h)
+	return e, tm
+}
+
+// BenchmarkGossipRound measures one full T-Man round over 800 nodes:
+// partner selection, buffer building and capped merges — the simulator's
+// hottest path.
+func BenchmarkGossipRound(b *testing.B) {
+	e, _ := benchNet(b, 40, 20)
+	e.RunRounds(5) // fill views to their steady-state size first
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunRounds(1)
+	}
+}
+
+// BenchmarkNeighbors measures the closest-k query consumed by partner
+// selection, Polystyrene migration, and the proximity metric.
+func BenchmarkNeighbors(b *testing.B) {
+	e, tm := benchNet(b, 40, 20)
+	e.RunRounds(10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(tm.Neighbors(0, 5)) == 0 {
+			b.Fatal("no neighbours")
+		}
+	}
+}

@@ -20,15 +20,22 @@
 // T-Man also refreshes the coordinates of every view entry each round
 // ("T-Man must update their positions in its view in each round, causing
 // most of the traffic", Sec. IV-B), at dim units per entry.
+//
+// Ranking view entries by distance is the hottest code path of the whole
+// simulator, so selections go through topk.SmallestK (partial selection,
+// no comparator closures) over scratch buffers pooled on the protocol
+// instance, and set-membership during merges uses a generation-stamped
+// array indexed by the engine's dense NodeIDs. The engine is sequential,
+// so instance-level scratch is safe.
 package tman
 
 import (
 	"fmt"
-	"sort"
 
 	"polystyrene/internal/rps"
 	"polystyrene/internal/sim"
 	"polystyrene/internal/space"
+	"polystyrene/internal/topk"
 )
 
 // Defaults from the paper's experimental setting (Sec. IV-A).
@@ -97,6 +104,15 @@ func (c Config) withDefaults() (Config, error) {
 type Protocol struct {
 	cfg   Config
 	views [][]sim.NodeID
+
+	// sel holds the pooled parallel (distance, id) selection arrays.
+	sel topk.Scratch[sim.NodeID]
+	// candBuf assembles the owner+view candidate set for buildBuffer.
+	candBuf []sim.NodeID
+	// stamp/gen implement an O(1) reusable membership set over dense
+	// NodeIDs (stamp[id] == gen means "present this generation").
+	stamp []uint32
+	gen   uint32
 }
 
 var _ sim.Protocol = (*Protocol)(nil)
@@ -185,33 +201,27 @@ func (p *Protocol) selectPartner(e *sim.Engine, id sim.NodeID) sim.NodeID {
 // itself, ranked by proximity to the receiver's position target.
 func (p *Protocol) buildBuffer(owner sim.NodeID, target space.Point) []sim.NodeID {
 	view := p.views[owner]
-	cand := make([]sim.NodeID, 0, len(view)+1)
-	cand = append(cand, owner)
+	cand := append(p.candBuf[:0], owner)
 	cand = append(cand, view...)
+	p.candBuf = cand
 	return p.closestTo(cand, target, p.cfg.MsgSize)
 }
 
 // closestTo returns the up-to-k IDs of cand whose positions are closest to
-// target, ordered by increasing distance. Distances are evaluated once per
-// candidate (the hot path of the whole simulator).
+// target, ordered by increasing distance (ties toward the lower ID).
+// Distances are evaluated once per candidate; selection is a partial
+// topk pass over pooled scratch, and only the returned slice — which
+// callers retain as views and message buffers — is allocated.
 func (p *Protocol) closestTo(cand []sim.NodeID, target space.Point, k int) []sim.NodeID {
 	s := p.cfg.Space
-	dists := make([]float64, len(cand))
+	dist, ids := p.sel.Get(len(cand))
 	for i, c := range cand {
-		dists[i] = s.Distance(p.pos(c), target)
+		dist[i] = s.Distance(p.pos(c), target)
+		ids[i] = c
 	}
-	idx := make([]int, len(cand))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return dists[idx[a]] < dists[idx[b]] })
-	if k > len(idx) {
-		k = len(idx)
-	}
+	k = topk.SmallestK(dist, ids, k)
 	out := make([]sim.NodeID, k)
-	for i := 0; i < k; i++ {
-		out[i] = cand[idx[i]]
-	}
+	copy(out, ids[:k])
 	return out
 }
 
@@ -219,14 +229,14 @@ func (p *Protocol) closestTo(cand []sim.NodeID, target space.Point, k int) []sim
 // entries closest to owner's position, up to the view cap.
 func (p *Protocol) merge(e *sim.Engine, owner sim.NodeID, received []sim.NodeID) {
 	view := p.views[owner]
-	present := make(map[sim.NodeID]bool, len(view)+1)
-	present[owner] = true
+	gen := p.nextGen(e)
+	p.stamp[owner] = gen
 	for _, v := range view {
-		present[v] = true
+		p.stamp[v] = gen
 	}
 	for _, r := range received {
-		if !present[r] && e.Alive(r) {
-			present[r] = true
+		if p.stamp[r] != gen && e.Alive(r) {
+			p.stamp[r] = gen
 			view = append(view, r)
 		}
 	}
@@ -234,6 +244,24 @@ func (p *Protocol) merge(e *sim.Engine, owner sim.NodeID, received []sim.NodeID)
 		view = p.closestTo(view, p.pos(owner), p.cfg.ViewCap)
 	}
 	p.views[owner] = view
+}
+
+// nextGen advances the membership-set generation and sizes the stamp
+// array to the engine's node count.
+func (p *Protocol) nextGen(e *sim.Engine) uint32 {
+	if n := e.NumNodes(); len(p.stamp) < n {
+		grown := make([]uint32, n)
+		copy(grown, p.stamp)
+		p.stamp = grown
+	}
+	p.gen++
+	if p.gen == 0 { // wrapped: stale stamps could collide, reset them
+		for i := range p.stamp {
+			p.stamp[i] = 0
+		}
+		p.gen = 1
+	}
+	return p.gen
 }
 
 // purgeDead removes crashed nodes from id's view; if the view empties out
@@ -260,17 +288,7 @@ func (p *Protocol) Neighbors(id sim.NodeID, k int) []sim.NodeID {
 	if int(id) >= len(p.views) || k <= 0 {
 		return nil
 	}
-	view := p.views[id]
-	positions := make([]space.Point, len(view))
-	for i, v := range view {
-		positions[i] = p.pos(v)
-	}
-	idx := space.KNearest(p.cfg.Space, p.pos(id), positions, k)
-	out := make([]sim.NodeID, len(idx))
-	for i, j := range idx {
-		out[i] = view[j]
-	}
-	return out
+	return p.closestTo(p.views[id], p.pos(id), k)
 }
 
 // ViewSize returns the current view size of id (test/metrics helper).

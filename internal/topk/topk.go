@@ -1,0 +1,140 @@
+// Package topk provides allocation-free partial selection of the k
+// smallest elements of a keyed slice pair.
+//
+// The gossip layers (T-Man, Vicinity) spend most of their time ranking
+// view entries by distance and keeping the closest k. Sorting the whole
+// candidate set with sort.Slice costs O(n log n) comparator closure calls
+// and allocates (indices, reflect-based swapper); SmallestK does a
+// quickselect partition followed by a small sort of the selected prefix,
+// touching only the caller's slices.
+//
+// Ties on the key break toward the smaller payload value, so the result
+// is a pure function of the (key, payload) multiset — independent of the
+// input permutation. The simulation engine relies on this for
+// reproducibility: the same candidate set always yields the same
+// selection, no matter what order gossip happened to assemble it in.
+package topk
+
+import "cmp"
+
+// SmallestK partially reorders keys (and payload, kept in lockstep) so
+// that keys[:k'] holds the k' = min(k, len(keys)) smallest keys in
+// increasing order, and returns k'. The elements beyond k' are left in an
+// unspecified order. keys and payload must have equal length.
+func SmallestK[P cmp.Ordered](keys []float64, payload []P, k int) int {
+	if len(keys) != len(payload) {
+		panic("topk: keys and payload length mismatch")
+	}
+	if k <= 0 {
+		return 0
+	}
+	if k > len(keys) {
+		k = len(keys)
+	}
+	if k < len(keys) {
+		quickselect(keys, payload, k)
+	}
+	sortRange(keys, payload, 0, k)
+	return k
+}
+
+// less orders by key, breaking ties on payload (total order over
+// distinct payloads, which makes selection permutation-independent).
+func less[P cmp.Ordered](ka float64, pa P, kb float64, pb P) bool {
+	if ka != kb {
+		return ka < kb
+	}
+	return pa < pb
+}
+
+// quickselect partitions keys so the k smallest occupy keys[:k], using
+// Hoare partitioning with a median-of-three pivot. Average O(n).
+func quickselect[P cmp.Ordered](keys []float64, payload []P, k int) {
+	lo, hi := 0, len(keys)
+	for hi-lo > 16 {
+		p := partition(keys, payload, lo, hi)
+		switch {
+		case p == k:
+			return
+		case p < k:
+			lo = p
+		default:
+			hi = p
+		}
+	}
+	sortRange(keys, payload, lo, hi)
+}
+
+// partition reorders [lo, hi) around a median-of-three pivot and returns
+// the split point p such that every element of [lo, p) is <= every
+// element of [p, hi) under the tie-broken order, with lo < p < hi.
+func partition[P cmp.Ordered](keys []float64, payload []P, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	// Sort (lo, mid, hi-1) so keys[mid] is the median of the three.
+	if less(keys[mid], payload[mid], keys[lo], payload[lo]) {
+		swap(keys, payload, mid, lo)
+	}
+	if less(keys[hi-1], payload[hi-1], keys[mid], payload[mid]) {
+		swap(keys, payload, hi-1, mid)
+		if less(keys[mid], payload[mid], keys[lo], payload[lo]) {
+			swap(keys, payload, mid, lo)
+		}
+	}
+	pk, pp := keys[mid], payload[mid]
+
+	i, j := lo-1, hi
+	for {
+		for {
+			i++
+			if !less(keys[i], payload[i], pk, pp) {
+				break
+			}
+		}
+		for {
+			j--
+			if !less(pk, pp, keys[j], payload[j]) {
+				break
+			}
+		}
+		if i >= j {
+			// The pivot itself sits in [lo, j], so j+1 is a valid split
+			// strictly inside (lo, hi).
+			return j + 1
+		}
+		swap(keys, payload, i, j)
+	}
+}
+
+// sortRange insertion-sorts [lo, hi); the selected prefixes are small
+// (message sizes and view caps), where insertion sort is fastest.
+func sortRange[P cmp.Ordered](keys []float64, payload []P, lo, hi int) {
+	for i := lo + 1; i < hi; i++ {
+		for j := i; j > lo && less(keys[j], payload[j], keys[j-1], payload[j-1]); j-- {
+			swap(keys, payload, j, j-1)
+		}
+	}
+}
+
+func swap[P cmp.Ordered](keys []float64, payload []P, i, j int) {
+	keys[i], keys[j] = keys[j], keys[i]
+	payload[i], payload[j] = payload[j], payload[i]
+}
+
+// Scratch is a reusable pair of parallel selection buffers for SmallestK
+// callers that select on every gossip exchange. It grows monotonically
+// and is not safe for concurrent use — pool one per (sequential)
+// protocol instance.
+type Scratch[P cmp.Ordered] struct {
+	keys    []float64
+	payload []P
+}
+
+// Get returns the buffers resliced to length n, growing them if needed.
+// Contents are unspecified; callers overwrite every slot before use.
+func (s *Scratch[P]) Get(n int) ([]float64, []P) {
+	if cap(s.keys) < n {
+		s.keys = make([]float64, n)
+		s.payload = make([]P, n)
+	}
+	return s.keys[:n], s.payload[:n]
+}

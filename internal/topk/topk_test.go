@@ -1,0 +1,144 @@
+package topk
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"polystyrene/internal/xrand"
+)
+
+// reference computes the expected result with a full stable sort under
+// the same (key, payload) tie-broken order.
+func reference(keys []float64, payload []int, k int) ([]float64, []int) {
+	type kv struct {
+		k float64
+		p int
+	}
+	all := make([]kv, len(keys))
+	for i := range keys {
+		all[i] = kv{keys[i], payload[i]}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].k != all[b].k {
+			return all[a].k < all[b].k
+		}
+		return all[a].p < all[b].p
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	ks := make([]float64, k)
+	ps := make([]int, k)
+	for i := 0; i < k; i++ {
+		ks[i], ps[i] = all[i].k, all[i].p
+	}
+	return ks, ps
+}
+
+func TestSmallestKMatchesFullSort(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(150)
+		k := rng.Intn(n + 10)
+		keys := make([]float64, n)
+		payload := make([]int, n)
+		for i := range keys {
+			// Coarse values force plenty of key ties.
+			keys[i] = float64(rng.Intn(12))
+			payload[i] = i
+		}
+		rng.ShuffleInts(payload)
+		wantK, wantP := reference(append([]float64(nil), keys...), append([]int(nil), payload...), k)
+
+		got := SmallestK(keys, payload, k)
+		if got != len(wantK) {
+			t.Fatalf("trial %d: SmallestK returned %d, want %d", trial, got, len(wantK))
+		}
+		for i := 0; i < got; i++ {
+			if keys[i] != wantK[i] || payload[i] != wantP[i] {
+				t.Fatalf("trial %d (n=%d k=%d): slot %d = (%v,%d), want (%v,%d)",
+					trial, n, k, i, keys[i], payload[i], wantK[i], wantP[i])
+			}
+		}
+	}
+}
+
+func TestSmallestKPermutationIndependent(t *testing.T) {
+	rng := xrand.New(9)
+	n, k := 60, 13
+	keys := make([]float64, n)
+	payload := make([]int, n)
+	for i := range keys {
+		keys[i] = float64(rng.Intn(5))
+		payload[i] = i
+	}
+	firstK := append([]float64(nil), keys...)
+	firstP := append([]int(nil), payload...)
+	SmallestK(firstK, firstP, k)
+
+	for trial := 0; trial < 50; trial++ {
+		ks := append([]float64(nil), keys...)
+		ps := append([]int(nil), payload...)
+		rng.Shuffle(n, func(i, j int) {
+			ks[i], ks[j] = ks[j], ks[i]
+			ps[i], ps[j] = ps[j], ps[i]
+		})
+		SmallestK(ks, ps, k)
+		for i := 0; i < k; i++ {
+			if ks[i] != firstK[i] || ps[i] != firstP[i] {
+				t.Fatalf("selection depends on input order at slot %d", i)
+			}
+		}
+	}
+}
+
+func TestSmallestKEdgeCases(t *testing.T) {
+	if got := SmallestK(nil, []int(nil), 5); got != 0 {
+		t.Fatalf("empty input: got %d", got)
+	}
+	if got := SmallestK([]float64{1, 2}, []int{0, 1}, 0); got != 0 {
+		t.Fatalf("k=0: got %d", got)
+	}
+	if got := SmallestK([]float64{3}, []int{0}, -2); got != 0 {
+		t.Fatalf("negative k: got %d", got)
+	}
+	keys := []float64{2, 1, 3}
+	payload := []int{10, 11, 12}
+	if got := SmallestK(keys, payload, 99); got != 3 {
+		t.Fatalf("k>n: got %d", got)
+	}
+	if keys[0] != 1 || keys[1] != 2 || keys[2] != 3 {
+		t.Fatalf("k>n full sort wrong: %v", keys)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	SmallestK([]float64{1}, []int{0, 1}, 1)
+}
+
+func TestSmallestKAllEqualKeysAndPayloads(t *testing.T) {
+	// Fully duplicated input must terminate and keep the multiset intact.
+	n := 200
+	keys := make([]float64, n)
+	payload := make([]int, n)
+	if got := SmallestK(keys, payload, 50); got != 50 {
+		t.Fatalf("got %d", got)
+	}
+	for i := 0; i < 50; i++ {
+		if keys[i] != 0 || payload[i] != 0 {
+			t.Fatal("duplicated input corrupted")
+		}
+	}
+}
+
+func TestSmallestKInfAndLargeValues(t *testing.T) {
+	keys := []float64{math.Inf(1), 5, math.MaxFloat64, 1, 5}
+	payload := []int{0, 1, 2, 3, 4}
+	SmallestK(keys, payload, 3)
+	if payload[0] != 3 || payload[1] != 1 || payload[2] != 4 {
+		t.Fatalf("payload order = %v", payload[:3])
+	}
+}

@@ -22,11 +22,11 @@ package vicinity
 
 import (
 	"fmt"
-	"sort"
 
 	"polystyrene/internal/rps"
 	"polystyrene/internal/sim"
 	"polystyrene/internal/space"
+	"polystyrene/internal/topk"
 )
 
 // Defaults follow the Vicinity paper's small-view spirit; the view is
@@ -92,9 +92,21 @@ type entry struct {
 
 // Protocol is the Vicinity layer. It implements sim.Protocol and
 // core.Topology.
+//
+// Per-exchange buffers and distance-selection scratch are pooled on the
+// instance (the engine is sequential), so steady-state gossip performs no
+// map operations and allocates only slices that outlive the exchange.
 type Protocol struct {
 	cfg   Config
 	views [][]entry
+
+	// sel holds the pooled parallel (distance, view index) selection
+	// arrays.
+	sel topk.Scratch[int]
+	// bufA/bufB are the two in-flight message buffers; both live across a
+	// merge pair, so they need separate backing arrays.
+	bufA []sim.NodeID
+	bufB []sim.NodeID
 }
 
 var _ sim.Protocol = (*Protocol)(nil)
@@ -168,8 +180,8 @@ func (p *Protocol) Step(e *sim.Engine, id sim.NodeID) {
 	p.purgeDead(e, q)
 
 	// Symmetric exchange of full views (plus self), capped at MsgSize.
-	sentToQ := p.descriptorsFor(id, q)
-	sentToP := p.descriptorsFor(q, id)
+	sentToQ := p.descriptorsFor(id, q, &p.bufA)
+	sentToP := p.descriptorsFor(q, id, &p.bufB)
 	e.Charge((len(sentToQ) + len(sentToP)) * sim.DescriptorCost(p.cfg.Space.Dim()))
 
 	p.merge(e, id, sentToP)
@@ -177,11 +189,10 @@ func (p *Protocol) Step(e *sim.Engine, id sim.NodeID) {
 }
 
 // descriptorsFor returns owner's view plus itself, excluding the receiver,
-// capped at MsgSize.
-func (p *Protocol) descriptorsFor(owner, receiver sim.NodeID) []sim.NodeID {
+// capped at MsgSize, into the pooled buffer buf.
+func (p *Protocol) descriptorsFor(owner, receiver sim.NodeID, buf *[]sim.NodeID) []sim.NodeID {
 	view := p.views[owner]
-	out := make([]sim.NodeID, 0, len(view)+1)
-	out = append(out, owner)
+	out := append((*buf)[:0], owner)
 	for _, en := range view {
 		if en.id != receiver {
 			out = append(out, en.id)
@@ -190,39 +201,32 @@ func (p *Protocol) descriptorsFor(owner, receiver sim.NodeID) []sim.NodeID {
 	if len(out) > p.cfg.MsgSize {
 		out = out[:p.cfg.MsgSize]
 	}
+	*buf = out
 	return out
 }
 
 // merge folds received descriptors into owner's view, keeping the
-// ViewSize entries closest to owner's current position. Ages of surviving
-// entries are preserved; new entries start at age 0.
+// ViewSize entries closest to owner's current position (ties toward the
+// earlier view slot). Ages of surviving entries are preserved; new
+// entries start at age 0.
 func (p *Protocol) merge(e *sim.Engine, owner sim.NodeID, received []sim.NodeID) {
 	view := p.views[owner]
-	present := make(map[sim.NodeID]bool, len(view)+1)
-	present[owner] = true
-	for _, en := range view {
-		present[en.id] = true
-	}
 	for _, r := range received {
-		if !present[r] && e.Alive(r) {
-			present[r] = true
+		if r != owner && !p.contains(view, r) && e.Alive(r) {
 			view = append(view, entry{id: r})
 		}
 	}
 	if len(view) > p.cfg.ViewSize {
 		ownerPos := p.cfg.Position(owner)
-		dists := make([]float64, len(view))
+		dist, idx := p.sel.Get(len(view))
 		for i, en := range view {
-			dists[i] = p.cfg.Space.Distance(p.cfg.Position(en.id), ownerPos)
-		}
-		idx := make([]int, len(view))
-		for i := range idx {
+			dist[i] = p.cfg.Space.Distance(p.cfg.Position(en.id), ownerPos)
 			idx[i] = i
 		}
-		sort.Slice(idx, func(a, b int) bool { return dists[idx[a]] < dists[idx[b]] })
-		kept := make([]entry, p.cfg.ViewSize)
-		for i := 0; i < p.cfg.ViewSize; i++ {
-			kept[i] = view[idx[i]]
+		k := topk.SmallestK(dist, idx, p.cfg.ViewSize)
+		kept := make([]entry, k)
+		for i, j := range idx[:k] {
+			kept[i] = view[j]
 		}
 		view = kept
 	}
@@ -254,20 +258,22 @@ func (p *Protocol) purgeDead(e *sim.Engine, id sim.NodeID) {
 	}
 }
 
-// Neighbors implements core.Topology: the k closest live view entries,
-// ordered by increasing distance to id's current position.
+// Neighbors implements core.Topology: the k closest view entries, ordered
+// by increasing distance to id's current position.
 func (p *Protocol) Neighbors(id sim.NodeID, k int) []sim.NodeID {
 	if int(id) >= len(p.views) || k <= 0 {
 		return nil
 	}
 	view := p.views[id]
-	positions := make([]space.Point, len(view))
+	ownerPos := p.cfg.Position(id)
+	dist, idx := p.sel.Get(len(view))
 	for i, en := range view {
-		positions[i] = p.cfg.Position(en.id)
+		dist[i] = p.cfg.Space.Distance(p.cfg.Position(en.id), ownerPos)
+		idx[i] = i
 	}
-	idx := space.KNearest(p.cfg.Space, p.cfg.Position(id), positions, k)
-	out := make([]sim.NodeID, len(idx))
-	for i, j := range idx {
+	k = topk.SmallestK(dist, idx, k)
+	out := make([]sim.NodeID, k)
+	for i, j := range idx[:k] {
 		out[i] = view[j].id
 	}
 	return out

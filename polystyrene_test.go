@@ -2,7 +2,10 @@ package polystyrene
 
 import (
 	"math"
+	"reflect"
 	"testing"
+
+	"polystyrene/internal/scenario"
 )
 
 func torusSystem(t *testing.T, seed uint64, baseline bool) *System {
@@ -239,6 +242,71 @@ func TestDeterminism(t *testing.T) {
 	}
 	if a, b := run(), run(); a != b {
 		t.Fatalf("identical configs diverged: %v vs %v", a, b)
+	}
+}
+
+// TestDeterminismFullScenarioMetrics runs the paper's complete 3-phase
+// scenario twice with one seed and demands byte-identical per-round
+// metric trajectories — every homogeneity, proximity, data-point, cost
+// and liveness sample, not just a final scalar.
+func TestDeterminismFullScenarioMetrics(t *testing.T) {
+	run := func() *scenario.Result {
+		_, res, err := scenario.RunPaper(
+			scenario.Config{Seed: 42, W: 20, H: 10, Polystyrene: true, K: 4},
+			scenario.Phases{FailAt: 10, ReinjectAt: 25, End: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed metric records differ:\nrun1: %+v\nrun2: %+v", a, b)
+	}
+}
+
+// TestDeterminismAcrossParallelism demands that the sweep harnesses
+// produce byte-identical results at every runner.Map parallelism level:
+// each cell owns its engine and PRNG, and results fold in index order,
+// so scheduling must never leak into the output.
+func TestDeterminismAcrossParallelism(t *testing.T) {
+	base := scenario.Config{Seed: 7, W: 16, H: 8}
+	opts := func(par int) scenario.RunOpts {
+		return scenario.RunOpts{Reps: 3, ConvergeRounds: 10, MaxRounds: 40, Parallelism: par}
+	}
+
+	refRows, err := scenario.TableII(base, []int{2, 4}, opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 8} {
+		rows, err := scenario.TableII(base, []int{2, 4}, opts(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rows, refRows) {
+			t.Fatalf("TableII at parallelism %d diverged from serial run:\n%+v\nvs\n%+v",
+				par, rows, refRows)
+		}
+	}
+
+	sizes := []scenario.GridSize{{W: 16, H: 8}, {W: 20, H: 10}}
+	variants := map[string]func(scenario.Config) scenario.Config{
+		"K2": func(c scenario.Config) scenario.Config { c.K = 2; return c },
+		"K4": func(c scenario.Config) scenario.Config { c.K = 4; return c },
+	}
+	refSweep, err := scenario.SizeSweep(base, sizes, variants, opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{4, 16} {
+		sweep, err := scenario.SizeSweep(base, sizes, variants, opts(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sweep, refSweep) {
+			t.Fatalf("SizeSweep at parallelism %d diverged from serial run", par)
+		}
 	}
 }
 
