@@ -219,7 +219,11 @@ func TestPointConservationProperty(t *testing.T) {
 // ghostPointsOf exposes a node's ghost points from one origin for the
 // conservation property test.
 func ghostPointsOf(st *stack, id, origin sim.NodeID) []space.Point {
-	return st.poly.nodes[id].ghosts[origin]
+	gs := st.poly.nodes[id].ghosts[origin]
+	if gs == nil {
+		return nil
+	}
+	return gs.pts
 }
 
 func TestProjectionStaysInShapeNeighborhood(t *testing.T) {

@@ -17,13 +17,33 @@
 //   - migration — neighbouring nodes repeatedly merge and re-split their
 //     guest sets (Algorithm 3), a pair-wise decentralized k-means that
 //     re-balances points across nodes and removes duplicates (Sec. III-F).
+//
+// # Interned point identities
+//
+// Data points form a fixed, generator-produced universe (the shape is the
+// point set, Sec. III-A), so every point is interned into a space.Interner
+// exactly once — when a seed node first hosts it — and all point-set state
+// carries dense space.PointID identities in lockstep with the points:
+// guest sets, ghost sets and the per-backup pushed sets are (Point,
+// PointID) pairs. Set operations on the hot path (the migration union, the
+// incremental backup delta, ghost adoption) run on generation-stamped ID
+// arrays and pooled scratch buffers instead of string-keyed maps, and the
+// layer maintains an incremental guests⁻¹ holders index (PointID → holder
+// nodes) that the evaluation metrics consume in O(holders) per point.
+//
+// Invariants (see space.Interner): only canonical points enter the layer —
+// Config.InitialPoint must return canonical (e.g. torus-wrapped)
+// coordinates — every hosted point is interned before use, and points are
+// immutable once published. IDs are private to one Protocol's interner;
+// share Config.Interner when the harness must resolve the same IDs.
 package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"polystyrene/internal/fd"
+	"polystyrene/internal/genset"
 	"polystyrene/internal/rps"
 	"polystyrene/internal/sim"
 	"polystyrene/internal/space"
@@ -79,7 +99,14 @@ type Config struct {
 	Detector fd.Detector
 	// InitialPoint returns the original position of a joining node and
 	// whether that position is a data point the node should host (seed).
+	// Returned points must be canonical (see the package doc): they are
+	// interned as the node's identity in the data universe.
 	InitialPoint func(id sim.NodeID) (pos space.Point, seed bool)
+	// Interner maps canonical data points to dense PointIDs. Optional:
+	// when nil the protocol creates a private interner. Supply a shared
+	// one when the harness needs to resolve the layer's PointIDs too
+	// (e.g. the indexed evaluation metrics).
+	Interner *space.Interner
 	// K is the replication factor (copies per data point).
 	K int
 	// Psi is the migration candidate window ψ.
@@ -112,6 +139,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Detector == nil {
 		c.Detector = fd.Perfect{}
 	}
+	if c.Interner == nil {
+		c.Interner = space.NewInterner()
+	}
 	if c.K <= 0 {
 		c.K = DefaultK
 	}
@@ -127,21 +157,40 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
+// ghostSet is one origin's inactive replica: its guest set as of the last
+// push, points and interned IDs in lockstep. Buffers are reused across
+// pushes from the same origin.
+type ghostSet struct {
+	pts []space.Point
+	ids []space.PointID
+}
+
+// backupRef is one replication target together with the ID set of the
+// guests most recently pushed there, which prices the incremental delta of
+// Algorithm 1 (Sec. III-D).
+type backupRef struct {
+	node   sim.NodeID
+	pushed []space.PointID
+}
+
 // nodeState is the per-node state of Table I in the paper.
 type nodeState struct {
 	// guests are the data points this node currently hosts (primary
-	// copies). Keys are unique within the slice.
-	guests []space.Point
+	// copies), unique within the slice; guestIDs carries their interned
+	// identities in lockstep.
+	guests   []space.Point
+	guestIDs []space.PointID
 	// pos is the node's virtual position: the medoid of guests, or the
-	// last known position when guests is empty.
-	pos space.Point
+	// last known position when guests is empty. posDirty records that the
+	// guest set changed since pos was last projected, so the O(g²) medoid
+	// scan only reruns on transitions (steady-state migrations that hand
+	// every point back skip it).
+	pos      space.Point
+	posDirty bool
 	// ghosts maps an origin node to the inactive copies it pushed here.
-	ghosts map[sim.NodeID][]space.Point
+	ghosts map[sim.NodeID]*ghostSet
 	// backups lists the nodes this node replicates its guests to.
-	backups []sim.NodeID
-	// pushed caches, per backup node, the key set of the guests most
-	// recently pushed there, enabling incremental-delta cost accounting.
-	pushed map[sim.NodeID]map[string]bool
+	backups []backupRef
 }
 
 // Protocol is the Polystyrene layer. It implements sim.Protocol and must
@@ -150,6 +199,21 @@ type Protocol struct {
 	cfg      Config
 	splitter Splitter
 	nodes    []*nodeState
+
+	// holders is the incremental guests⁻¹ index: holders.lists[pid] are
+	// the nodes hosting point pid as a guest (possibly including crashed
+	// nodes; readers filter by liveness — see HoldersOf).
+	holders holderIndex
+
+	// Pooled scratch (the engine is sequential, so per-instance reuse is
+	// safe). pset/nset are generation-stamped membership sets over dense
+	// PointIDs and NodeIDs respectively; mergedPts/IDs is the migration
+	// union buffer; failedBuf backs recover's sorted origin list.
+	pset      genset.Set
+	nset      genset.Set
+	mergedPts []space.Point
+	mergedIDs []space.PointID
+	failedBuf []sim.NodeID
 }
 
 var _ sim.Protocol = (*Protocol)(nil)
@@ -193,11 +257,14 @@ func (p *Protocol) InitNode(e *sim.Engine, id sim.NodeID) {
 	pos, seed := p.cfg.InitialPoint(id)
 	st := &nodeState{
 		pos:    pos.Clone(),
-		ghosts: make(map[sim.NodeID][]space.Point),
-		pushed: make(map[sim.NodeID]map[string]bool),
+		ghosts: make(map[sim.NodeID]*ghostSet),
 	}
 	if seed {
-		st.guests = []space.Point{pos.Clone()}
+		pt := pos.Clone()
+		pid := p.cfg.Interner.Intern(pt)
+		st.guests = []space.Point{pt}
+		st.guestIDs = []space.PointID{pid}
+		p.holders.add(e, pid, id)
 	}
 	p.nodes[id] = st
 }
@@ -218,21 +285,62 @@ func (p *Protocol) Step(e *sim.Engine, id sim.NodeID) {
 // failed, merging them into the local guest set.
 func (p *Protocol) recover(e *sim.Engine, id sim.NodeID) {
 	st := p.nodes[id]
+	if len(st.ghosts) == 0 {
+		return
+	}
 	// Collect failed origins first and process them in ID order: map
 	// iteration order is randomised in Go, and the merge order influences
 	// guest-slice order (hence medoid tie-breaks), which would make runs
 	// non-reproducible.
-	var failed []sim.NodeID
+	failed := p.failedBuf[:0]
 	for origin := range st.ghosts {
 		if p.cfg.Detector.Failed(e, id, origin) {
 			failed = append(failed, origin)
 		}
 	}
-	sort.Slice(failed, func(i, j int) bool { return failed[i] < failed[j] })
+	slices.Sort(failed)
 	for _, origin := range failed {
-		st.guests = mergePoints(st.guests, st.ghosts[origin])
+		p.adoptGhosts(e, st, id, origin, st.ghosts[origin])
 		delete(st.ghosts, origin)
 	}
+	p.failedBuf = failed
+}
+
+// adoptGhosts merges a failed origin's ghost set into id's guests,
+// skipping points already hosted (set union by interned ID), and retires
+// the dead origin's stale entries from the holders index.
+func (p *Protocol) adoptGhosts(e *sim.Engine, st *nodeState, id, origin sim.NodeID, gs *ghostSet) {
+	for _, pid := range gs.ids {
+		p.holders.remove(pid, origin)
+	}
+	before := len(st.guestIDs)
+	st.guests, st.guestIDs = p.unionInto(st.guests, st.guestIDs, gs.pts, gs.ids)
+	for _, pid := range st.guestIDs[before:] {
+		p.holders.add(e, pid, id)
+	}
+	if len(st.guestIDs) > before {
+		st.posDirty = true
+	}
+}
+
+// unionInto appends to (dstPts, dstIDs) every point of (srcPts, srcIDs)
+// whose ID is not already present — the ID-keyed set union behind ghost
+// adoption and the migration merge, equivalent to the string-keyed
+// mergePoints oracle but touching only the pooled generation stamps.
+// Existing dst order is preserved and novel points append in src order.
+func (p *Protocol) unionInto(dstPts []space.Point, dstIDs []space.PointID, srcPts []space.Point, srcIDs []space.PointID) ([]space.Point, []space.PointID) {
+	mark, gen := p.pset.Next(p.cfg.Interner.Len())
+	for _, pid := range dstIDs {
+		mark[pid] = gen
+	}
+	for i, pid := range srcIDs {
+		if mark[pid] != gen {
+			mark[pid] = gen
+			dstPts = append(dstPts, srcPts[i])
+			dstIDs = append(dstIDs, pid)
+		}
+	}
+	return dstPts, dstIDs
 }
 
 // --- Backup (Algorithm 1) ---
@@ -245,73 +353,87 @@ func (p *Protocol) backup(e *sim.Engine, id sim.NodeID) {
 	// backups ← backups \ failed (line 1).
 	kept := st.backups[:0]
 	for _, b := range st.backups {
-		if !p.cfg.Detector.Failed(e, id, b) {
+		if !p.cfg.Detector.Failed(e, id, b.node) {
 			kept = append(kept, b)
-		} else {
-			delete(st.pushed, b)
 		}
 	}
 	st.backups = kept
 
 	// backups ← backups ∪ {(K − |backups|) random nodes} (line 2).
 	if missing := p.cfg.K - len(st.backups); missing > 0 {
-		st.backups = append(st.backups, p.pickBackupTargets(e, id, missing)...)
+		p.pickBackupTargets(e, id, missing)
 	}
 
 	// Push guests to every backup (lines 3-4). The stored ghosts are a
 	// full replacement; the *charged* traffic is the incremental delta
 	// (Sec. III-D optimisation) unless FullCopyBackup is set.
-	//
-	// The guest set is fixed for the duration of the loop, so one shared
-	// snapshot and one shared key set serve all K targets: ghost slices
-	// and pushed-key maps are only ever read after this point (points are
-	// immutable, guest replacements are wholesale), never mutated.
 	if len(st.backups) == 0 {
 		return
 	}
 	ptCost := sim.PointCost(p.cfg.Space.Dim())
-	snapshot := clonePoints(st.guests)
 	if p.cfg.FullCopyBackup {
-		for _, b := range st.backups {
-			p.nodes[b].ghosts[id] = snapshot
+		for i := range st.backups {
+			p.pushGhosts(id, st.backups[i].node, st)
 			e.Charge(len(st.guests) * ptCost)
 		}
 		return
 	}
-	keys := make([]string, len(st.guests))
-	now := make(map[string]bool, len(st.guests))
-	for i, g := range st.guests {
-		keys[i] = g.Key()
-		now[keys[i]] = true
+	// One generation pass marks the current guest set; each target's delta
+	// then prices against its own previously-pushed set, with no maps and
+	// no key strings.
+	mark, gen := p.pset.Next(p.cfg.Interner.Len())
+	for _, pid := range st.guestIDs {
+		mark[pid] = gen
 	}
-	for _, b := range st.backups {
-		p.nodes[b].ghosts[id] = snapshot
-
-		prev := st.pushed[b]
-		delta := 0
-		for _, k := range keys {
-			if !prev[k] {
-				delta++ // point added since last push
-			}
-		}
-		for k := range prev {
-			if !now[k] {
-				delta++ // point removed since last push (tombstone)
-			}
-		}
-		st.pushed[b] = now
+	for i := range st.backups {
+		b := &st.backups[i]
+		p.pushGhosts(id, b.node, st)
+		delta := pushDelta(mark, gen, len(st.guestIDs), b.pushed)
+		b.pushed = append(b.pushed[:0], st.guestIDs...)
 		e.Charge(delta * ptCost)
 	}
 }
 
-// pickBackupTargets returns up to n fresh backup nodes according to the
-// configured placement, excluding self and current targets.
-func (p *Protocol) pickBackupTargets(e *sim.Engine, id sim.NodeID, n int) []sim.NodeID {
+// pushDelta returns the incremental backup traffic of Algorithm 1
+// (Sec. III-D): points added since the last push plus removal tombstones,
+// i.e. |cur| + |prev| − 2·|cur ∩ prev|. The current guest set must already
+// be stamped with gen in mark; prev is the target's previously-pushed ID
+// set. It equals the string-keyed two-map count it replaced (see the
+// oracle property test).
+func pushDelta(mark []uint32, gen uint32, curLen int, prev []space.PointID) int {
+	common := 0
+	for _, pid := range prev {
+		if mark[pid] == gen {
+			common++
+		}
+	}
+	return curLen + len(prev) - 2*common
+}
+
+// pushGhosts replaces the ghost copy of id's guests stored at target b,
+// reusing b's existing buffers for this origin. Ghost points are slice
+// headers onto immutable point data, so later guest-set mutations at the
+// origin never disturb a stored ghost.
+func (p *Protocol) pushGhosts(id, b sim.NodeID, st *nodeState) {
+	tgt := p.nodes[b]
+	gs := tgt.ghosts[id]
+	if gs == nil {
+		gs = &ghostSet{}
+		tgt.ghosts[id] = gs
+	}
+	gs.pts = append(gs.pts[:0], st.guests...)
+	gs.ids = append(gs.ids[:0], st.guestIDs...)
+}
+
+// pickBackupTargets appends up to n fresh backup nodes to id's target list
+// according to the configured placement, excluding self and current
+// targets via the pooled node-generation set.
+func (p *Protocol) pickBackupTargets(e *sim.Engine, id sim.NodeID, n int) {
 	st := p.nodes[id]
-	exclude := make(map[sim.NodeID]bool, len(st.backups)+1)
-	exclude[id] = true
+	exclude, gen := p.nset.Next(e.NumNodes())
+	exclude[id] = gen
 	for _, b := range st.backups {
-		exclude[b] = true
+		exclude[b.node] = gen
 	}
 
 	var candidates []sim.NodeID
@@ -322,26 +444,27 @@ func (p *Protocol) pickBackupTargets(e *sim.Engine, id sim.NodeID, n int) []sim.
 		candidates = p.cfg.Sampler.RandomPeers(e, id, n+len(st.backups)+1)
 	}
 
-	out := make([]sim.NodeID, 0, n)
+	added := 0
 	for _, c := range candidates {
-		if len(out) == n {
-			return out
+		if added == n {
+			return
 		}
-		if !exclude[c] && e.Alive(c) {
-			exclude[c] = true
-			out = append(out, c)
+		if exclude[c] != gen && e.Alive(c) {
+			exclude[c] = gen
+			st.backups = append(st.backups, backupRef{node: c})
+			added++
 		}
 	}
 	// The sampling view may be too small right after a catastrophe; fall
 	// back to uniform draws over the whole live system.
-	for tries := 0; len(out) < n && tries < 20*n; tries++ {
+	for tries := 0; added < n && tries < 20*n; tries++ {
 		c := e.RandomLive()
-		if c != sim.None && !exclude[c] {
-			exclude[c] = true
-			out = append(out, c)
+		if c != sim.None && exclude[c] != gen {
+			exclude[c] = gen
+			st.backups = append(st.backups, backupRef{node: c})
+			added++
 		}
 	}
-	return out
 }
 
 // --- Migration (Algorithm 3) ---
@@ -377,31 +500,57 @@ func (p *Protocol) migrate(e *sim.Engine, id sim.NodeID) {
 	pst, qst := p.nodes[id], p.nodes[q]
 	// all_points ← p.guests ∪ q.guests (line 4). The union removes
 	// duplicate copies, which is how redundant points created by eager
-	// re-replication after a failure get cleaned up (Sec. IV-B).
-	all := mergePoints(clonePoints(pst.guests), qst.guests)
+	// re-replication after a failure get cleaned up (Sec. IV-B). It is an
+	// ID-keyed union into pooled scratch — p's points first, then q's
+	// novel ones, preserving the merge order the split tie-breaks see.
+	mp := append(p.mergedPts[:0], pst.guests...)
+	mi := append(p.mergedIDs[:0], pst.guestIDs...)
+	mp, mi = p.unionInto(mp, mi, qst.guests, qst.guestIDs)
+	p.mergedPts, p.mergedIDs = mp, mi
 
-	toP, toQ := p.splitter.Split(all, pst.pos, qst.pos)
+	toP, toQ, idsP, idsQ := p.splitter.Split(mp, mi, pst.pos, qst.pos)
 	ptCost := sim.PointCost(p.cfg.Space.Dim())
 	// Pull: q ships its guests to p; push: p ships q's new set back.
 	e.Charge((len(qst.guests) + len(toQ)) * ptCost)
 
-	pst.guests = toP
-	qst.guests = toQ
+	p.setGuests(e, id, pst, toP, idsP)
+	p.setGuests(e, q, qst, toQ, idsQ)
 	p.project(q) // q's position moves with its new guest set
+}
+
+// setGuests replaces st's guest set with a split result (whose slices
+// alias splitter scratch), maintaining the holders index and the
+// projection dirty flag. An unchanged set — the steady-state common case,
+// where migration hands every point back to its holder — costs a single
+// ID-slice comparison and leaves the cached medoid valid.
+func (p *Protocol) setGuests(e *sim.Engine, id sim.NodeID, st *nodeState, pts []space.Point, ids []space.PointID) {
+	if slices.Equal(st.guestIDs, ids) {
+		return
+	}
+	for _, pid := range st.guestIDs {
+		p.holders.remove(pid, id)
+	}
+	for _, pid := range ids {
+		p.holders.add(e, pid, id)
+	}
+	st.guests = append(st.guests[:0], pts...)
+	st.guestIDs = append(st.guestIDs[:0], ids...)
+	st.posDirty = true
 }
 
 // --- Projection (Sec. III-C) ---
 
 // project recomputes the node's virtual position as the medoid of its
-// guests. A node with no guests keeps its previous position, which is how
-// freshly reinjected (empty) nodes remain addressable until migration
-// hands them points.
+// guests, if the guest set changed since the last projection. A node with
+// no guests keeps its previous position, which is how freshly reinjected
+// (empty) nodes remain addressable until migration hands them points.
 func (p *Protocol) project(id sim.NodeID) {
 	st := p.nodes[id]
-	if len(st.guests) == 0 {
+	if len(st.guests) == 0 || !st.posDirty {
 		return
 	}
 	st.pos = space.MedoidPoint(p.cfg.Space, st.guests)
+	st.posDirty = false
 }
 
 // --- Accessors (used by the position func, metrics and tests) ---
@@ -412,9 +561,27 @@ func (p *Protocol) Position(id sim.NodeID) space.Point {
 	return p.nodes[id].pos
 }
 
-// Guests returns a copy of the node's guest points.
+// Guests returns a copy of the node's guest points. Hot paths should use
+// GuestsFunc or AppendGuests instead, which do not allocate.
 func (p *Protocol) Guests(id sim.NodeID) []space.Point {
 	return clonePoints(p.nodes[id].guests)
+}
+
+// GuestsFunc calls fn for every guest point of id, with its interned ID,
+// without copying the set. fn must not mutate the point and must not call
+// back into the protocol.
+func (p *Protocol) GuestsFunc(id sim.NodeID, fn func(pt space.Point, pid space.PointID)) {
+	st := p.nodes[id]
+	for i, g := range st.guests {
+		fn(g, st.guestIDs[i])
+	}
+}
+
+// AppendGuests appends the node's guest points to dst and returns it —
+// the allocation-free alternative to Guests for callers with a reusable
+// buffer. The points themselves are shared and must not be mutated.
+func (p *Protocol) AppendGuests(id sim.NodeID, dst []space.Point) []space.Point {
+	return append(dst, p.nodes[id].guests...)
 }
 
 // NumGuests returns how many guest points the node hosts.
@@ -423,16 +590,19 @@ func (p *Protocol) NumGuests(id sim.NodeID) int { return len(p.nodes[id].guests)
 // NumGhosts returns how many ghost points the node stores.
 func (p *Protocol) NumGhosts(id sim.NodeID) int {
 	n := 0
-	for _, pts := range p.nodes[id].ghosts {
-		n += len(pts)
+	for _, gs := range p.nodes[id].ghosts {
+		n += len(gs.pts)
 	}
 	return n
 }
 
 // Backups returns a copy of the node's current backup targets.
 func (p *Protocol) Backups(id sim.NodeID) []sim.NodeID {
-	out := make([]sim.NodeID, len(p.nodes[id].backups))
-	copy(out, p.nodes[id].backups)
+	refs := p.nodes[id].backups
+	out := make([]sim.NodeID, len(refs))
+	for i, b := range refs {
+		out[i] = b.node
+	}
 	return out
 }
 
@@ -449,11 +619,77 @@ func (p *Protocol) GhostOrigins(id sim.NodeID) []sim.NodeID {
 // K returns the configured replication factor.
 func (p *Protocol) K() int { return p.cfg.K }
 
+// Interner returns the protocol's point interner: the authority on the
+// PointIDs used by GuestsFunc and HoldersOf.
+func (p *Protocol) Interner() *space.Interner { return p.cfg.Interner }
+
+// HoldersOf returns the nodes currently hosting the interned point as a
+// guest. The returned slice is the protocol's live index — callers must
+// not retain or mutate it, and it may contain crashed nodes (a crash is
+// not an observable transition; readers filter by engine liveness). It
+// satisfies metrics.HolderIndex.
+func (p *Protocol) HoldersOf(pid space.PointID) []sim.NodeID {
+	return p.holders.of(pid)
+}
+
 // PositionFunc returns the function the topology-construction layer should
 // use to resolve node positions, closing the projection loop of Fig. 3.
 // The result is assignable to tman.PositionFunc and vicinity.PositionFunc.
 func (p *Protocol) PositionFunc() func(id sim.NodeID) space.Point {
 	return func(id sim.NodeID) space.Point { return p.Position(id) }
+}
+
+// --- holders index ---
+
+// holderIndex is the incremental guests⁻¹ map: for each PointID, the nodes
+// hosting that point as a guest. Lists are tiny (one holder in steady
+// state, ~K+1 transiently after a recovery wave), so membership updates
+// are linear scans and removal is swap-remove; list order is therefore
+// arbitrary, which is fine for the order-independent (min / any-live)
+// queries the metrics run.
+type holderIndex struct {
+	lists [][]sim.NodeID
+}
+
+// add appends n to pid's holder list, first compacting out entries whose
+// nodes have crashed since they were indexed — a crash is not an
+// observable transition for the maintainer, so dead entries are retired
+// here. Only the lists of points that never gain a holder again (lost
+// points) can retain dead entries indefinitely, which bounds the index by
+// the universe size even under sustained churn.
+func (h *holderIndex) add(e *sim.Engine, pid space.PointID, n sim.NodeID) {
+	for len(h.lists) <= int(pid) {
+		h.lists = append(h.lists, nil)
+	}
+	l := h.lists[pid]
+	kept := l[:0]
+	for _, v := range l {
+		if e.Alive(v) {
+			kept = append(kept, v)
+		}
+	}
+	h.lists[pid] = append(kept, n)
+}
+
+func (h *holderIndex) remove(pid space.PointID, n sim.NodeID) {
+	if int(pid) >= len(h.lists) {
+		return
+	}
+	l := h.lists[pid]
+	for i, v := range l {
+		if v == n {
+			l[i] = l[len(l)-1]
+			h.lists[pid] = l[:len(l)-1]
+			return
+		}
+	}
+}
+
+func (h *holderIndex) of(pid space.PointID) []sim.NodeID {
+	if int(pid) >= len(h.lists) {
+		return nil
+	}
+	return h.lists[pid]
 }
 
 // --- point-set helpers ---
@@ -468,6 +704,10 @@ func clonePoints(pts []space.Point) []space.Point {
 
 // mergePoints returns base extended with every point of extra that is not
 // already present (set union by point key). base may be mutated.
+//
+// This is the string-keyed predecessor of the interned-ID unions above; it
+// is retained as the reference oracle for the property tests and baseline
+// benchmarks, and must stay semantically aligned with adoptGhosts/migrate.
 func mergePoints(base []space.Point, extra []space.Point) []space.Point {
 	if len(extra) == 0 {
 		return base

@@ -29,7 +29,7 @@ type stackOpts struct {
 	tmanCfg tman.Config
 }
 
-func newStack(t *testing.T, o stackOpts) *stack {
+func newStack(t testing.TB, o stackOpts) *stack {
 	t.Helper()
 	if o.w == 0 {
 		o.w, o.h = 16, 8
@@ -76,13 +76,13 @@ func newStack(t *testing.T, o stackOpts) *stack {
 }
 
 // uniqueActivePoints returns the set of distinct guest point keys over all
-// live nodes.
+// live nodes, iterated zero-copy through GuestsFunc.
 func (st *stack) uniqueActivePoints() map[string]bool {
 	out := map[string]bool{}
 	for _, id := range st.engine.LiveIDs() {
-		for _, g := range st.poly.Guests(id) {
+		st.poly.GuestsFunc(id, func(g space.Point, _ space.PointID) {
 			out[g.Key()] = true
-		}
+		})
 	}
 	return out
 }
@@ -415,6 +415,46 @@ func TestNeighborBackupPlacement(t *testing.T) {
 	}
 	if mean := sum / float64(count); mean > 3.0 {
 		t.Fatalf("neighbour placement mean backup distance %v, want local (<3)", mean)
+	}
+}
+
+func TestGuestIterationAPIs(t *testing.T) {
+	// Guests (cloning), GuestsFunc (zero-copy callback) and AppendGuests
+	// (append-into) must present the same sequence, with GuestsFunc's IDs
+	// in lockstep through the interner.
+	st := newStack(t, stackOpts{seed: 17, cfg: Config{K: 3}})
+	st.engine.RunRounds(5)
+	st.engine.Kill(7) // trigger recovery so some nodes host several points
+	st.engine.RunRounds(3)
+	in := st.poly.Interner()
+	var buf []space.Point
+	for _, id := range st.engine.LiveIDs() {
+		want := st.poly.Guests(id)
+		i := 0
+		st.poly.GuestsFunc(id, func(g space.Point, pid space.PointID) {
+			if i >= len(want) || !g.Equal(want[i]) {
+				t.Fatalf("node %d: GuestsFunc[%d] = %v diverges from Guests %v", id, i, g, want)
+			}
+			if !in.PointOf(pid).Equal(g) {
+				t.Fatalf("node %d: GuestsFunc ID %d does not resolve to %v", id, pid, g)
+			}
+			i++
+		})
+		if i != len(want) {
+			t.Fatalf("node %d: GuestsFunc yielded %d points, Guests %d", id, i, len(want))
+		}
+		buf = st.poly.AppendGuests(id, buf[:0])
+		if len(buf) != len(want) {
+			t.Fatalf("node %d: AppendGuests %d points, Guests %d", id, len(buf), len(want))
+		}
+		for j := range buf {
+			if !buf[j].Equal(want[j]) {
+				t.Fatalf("node %d: AppendGuests[%d] = %v, want %v", id, j, buf[j], want[j])
+			}
+		}
+		if st.poly.NumGuests(id) != len(want) {
+			t.Fatalf("node %d: NumGuests %d, want %d", id, st.poly.NumGuests(id), len(want))
+		}
 	}
 }
 

@@ -1,0 +1,196 @@
+package core
+
+// Property tests pinning the interned-ID point-set operations to their
+// string-Key() predecessors: the ID-keyed union (unionInto), the
+// generation-stamped backup delta (pushDelta) and the incremental holders
+// index must agree with map-of-Key oracles on random point multisets and
+// under randomised churn. Together with the byte-identical golden
+// trajectories these are the licence for the representation swap.
+
+import (
+	"testing"
+
+	"polystyrene/internal/sim"
+	"polystyrene/internal/space"
+	"polystyrene/internal/xrand"
+)
+
+// oracleProtocol builds a bare Protocol wired to an interner, enough to
+// drive the pooled scratch helpers without a full stack.
+func oracleProtocol(in *space.Interner) *Protocol {
+	return &Protocol{cfg: Config{Interner: in}}
+}
+
+// randomSubset draws a random (unique, shuffled) subset of the universe,
+// as points and lockstep IDs.
+func randomSubset(rng *xrand.Rand, universe []space.Point, ids []space.PointID) ([]space.Point, []space.PointID) {
+	idx := rng.Sample(len(universe), rng.Intn(len(universe)+1))
+	pts := make([]space.Point, len(idx))
+	pids := make([]space.PointID, len(idx))
+	for i, j := range idx {
+		pts[i] = universe[j]
+		pids[i] = ids[j]
+	}
+	return pts, pids
+}
+
+func TestUnionIntoMatchesStringKeyOracle(t *testing.T) {
+	rng := xrand.New(1234)
+	in := space.NewInterner()
+	universe := space.TorusGrid(9, 7, 1)
+	ids := in.InternAll(universe)
+	p := oracleProtocol(in)
+
+	for trial := 0; trial < 300; trial++ {
+		aPts, aIDs := randomSubset(rng, universe, ids)
+		bPts, bIDs := randomSubset(rng, universe, ids)
+
+		wantPts := mergePoints(clonePoints(aPts), bPts)
+		gotPts, gotIDs := p.unionInto(clonePoints(aPts), append([]space.PointID{}, aIDs...), bPts, bIDs)
+
+		if len(gotPts) != len(wantPts) || len(gotIDs) != len(wantPts) {
+			t.Fatalf("trial %d: union size %d/%d, oracle %d", trial, len(gotPts), len(gotIDs), len(wantPts))
+		}
+		for i := range wantPts {
+			if !gotPts[i].Equal(wantPts[i]) {
+				t.Fatalf("trial %d: union[%d] = %v, oracle %v (order must match)", trial, i, gotPts[i], wantPts[i])
+			}
+			if !in.PointOf(gotIDs[i]).Equal(gotPts[i]) {
+				t.Fatalf("trial %d: union[%d] ID %d out of lockstep", trial, i, gotIDs[i])
+			}
+		}
+	}
+}
+
+func TestPushDeltaMatchesStringKeyOracle(t *testing.T) {
+	rng := xrand.New(5678)
+	in := space.NewInterner()
+	universe := space.TorusGrid(8, 8, 1)
+	ids := in.InternAll(universe)
+	p := oracleProtocol(in)
+
+	for trial := 0; trial < 300; trial++ {
+		curPts, curIDs := randomSubset(rng, universe, ids)
+		prevPts, prevIDs := randomSubset(rng, universe, ids)
+
+		// The old string-keyed count: additions then removal tombstones.
+		prev := map[string]bool{}
+		for _, g := range prevPts {
+			prev[g.Key()] = true
+		}
+		now := map[string]bool{}
+		want := 0
+		for _, g := range curPts {
+			k := g.Key()
+			now[k] = true
+			if !prev[k] {
+				want++
+			}
+		}
+		for k := range prev {
+			if !now[k] {
+				want++
+			}
+		}
+
+		mark, gen := p.pset.Next(in.Len())
+		for _, pid := range curIDs {
+			mark[pid] = gen
+		}
+		if got := pushDelta(mark, gen, len(curIDs), prevIDs); got != want {
+			t.Fatalf("trial %d: delta %d, oracle %d (|cur|=%d |prev|=%d)",
+				trial, got, want, len(curIDs), len(prevIDs))
+		}
+	}
+}
+
+// oracleHolders rebuilds guests⁻¹ the old way: scan every live node's
+// guest set into a map keyed by Point.Key().
+func oracleHolders(st *stack) map[string][]sim.NodeID {
+	out := map[string][]sim.NodeID{}
+	for _, id := range st.engine.LiveIDs() {
+		for _, g := range st.poly.Guests(id) {
+			out[g.Key()] = append(out[g.Key()], id)
+		}
+	}
+	return out
+}
+
+func TestHoldersIndexMatchesFullScanUnderChurn(t *testing.T) {
+	// Drive the full stack through convergence, a catastrophe, random
+	// churn and reinjection; after every round the live-filtered holders
+	// index must equal the rebuilt guests⁻¹ map, and guest state must stay
+	// in lockstep with its IDs.
+	st := newStack(t, stackOpts{seed: 321, w: 12, h: 6, cfg: Config{K: 3}})
+	rng := xrand.New(999)
+	in := st.poly.Interner()
+
+	check := func(round int) {
+		t.Helper()
+		oracle := oracleHolders(st)
+		seen := 0
+		for pid := 0; pid < in.Len(); pid++ {
+			pt := in.PointOf(space.PointID(pid))
+			var live []sim.NodeID
+			for _, id := range st.poly.HoldersOf(space.PointID(pid)) {
+				if st.engine.Alive(id) {
+					live = append(live, id)
+				}
+			}
+			want := oracle[pt.Key()]
+			if len(live) != len(want) {
+				t.Fatalf("round %d: point %v holders %v, oracle %v", round, pt, live, want)
+			}
+			wantSet := map[sim.NodeID]bool{}
+			for _, id := range want {
+				wantSet[id] = true
+			}
+			for _, id := range live {
+				if !wantSet[id] {
+					t.Fatalf("round %d: point %v has spurious holder %d (oracle %v)", round, pt, id, want)
+				}
+			}
+			seen += len(live)
+		}
+		// Every oracle entry was covered (sizes match per point and the
+		// totals agree).
+		total := 0
+		for _, hs := range oracle {
+			total += len(hs)
+		}
+		if seen != total {
+			t.Fatalf("round %d: index covers %d holdings, oracle %d", round, seen, total)
+		}
+		// Lockstep invariant: guests and guestIDs resolve to each other.
+		for _, id := range st.engine.LiveIDs() {
+			ns := st.poly.nodes[id]
+			if len(ns.guests) != len(ns.guestIDs) {
+				t.Fatalf("round %d: node %d guests/IDs out of lockstep", round, id)
+			}
+			for i, g := range ns.guests {
+				if !in.PointOf(ns.guestIDs[i]).Equal(g) {
+					t.Fatalf("round %d: node %d guest %d ID mismatch", round, id, i)
+				}
+			}
+		}
+	}
+
+	st.engine.RunRounds(5)
+	check(-1)
+	for i, pt := range st.points {
+		if space.RightHalf(pt, 12) {
+			st.engine.Kill(sim.NodeID(i))
+		}
+	}
+	for round := 0; round < 25; round++ {
+		if round%4 == 0 {
+			st.engine.AddNodes(1)
+		}
+		if rng.Bool(0.3) && st.engine.NumLive() > 20 {
+			live := st.engine.LiveIDs()
+			st.engine.Kill(live[rng.Intn(len(live))])
+		}
+		st.engine.RunRounds(1)
+		check(round)
+	}
+}

@@ -80,31 +80,49 @@ type Splitter struct {
 	// Rng supplies randomness for diameter sampling. Required only when
 	// point sets can exceed the exact-search threshold.
 	Rng *xrand.Rand
+
+	// Pooled partition buffers: the two clusters are assembled here, and
+	// the slices returned by Split alias them.
+	aPts, bPts []space.Point
+	aIDs, bIDs []space.PointID
 }
 
 const defaultDiameterSampleCap = 500
 
-// Split distributes points between the nodes at posP and posQ.
-func (sp *Splitter) Split(points []space.Point, posP, posQ space.Point) (toP, toQ []space.Point) {
+// Split distributes points between the nodes at posP and posQ. ids carries
+// the points' interned identities in lockstep and is partitioned alongside
+// them; callers that do not track identities may pass nil, in which case
+// the returned ID slices are empty.
+//
+// The returned slices alias scratch buffers owned by the Splitter: they
+// are valid only until the next Split call, and callers copy whatever they
+// keep. This keeps the migration hot path allocation-free.
+func (sp *Splitter) Split(points []space.Point, ids []space.PointID, posP, posQ space.Point) (toP, toQ []space.Point, idsP, idsQ []space.PointID) {
+	sp.aPts, sp.bPts = sp.aPts[:0], sp.bPts[:0]
+	sp.aIDs, sp.bIDs = sp.aIDs[:0], sp.bIDs[:0]
 	switch sp.Kind {
 	case SplitPD:
 		u, v, ok := sp.diameter(points)
 		if !ok {
-			return splitByPositions(sp.Space, points, posP, posQ)
+			sp.partition(points, ids, posP, posQ)
+		} else {
+			sp.partition(points, ids, u, v)
 		}
-		return partitionBetween(sp.Space, points, u, v)
+		return sp.aPts, sp.bPts, sp.aIDs, sp.bIDs
 	case SplitMD:
-		a, b := splitByPositions(sp.Space, points, posP, posQ)
-		return sp.orientByDisplacement(a, b, posP, posQ)
+		sp.partition(points, ids, posP, posQ)
+		return sp.orientByDisplacement(posP, posQ)
 	case SplitAdvanced:
 		u, v, ok := sp.diameter(points)
 		if !ok {
-			return splitByPositions(sp.Space, points, posP, posQ)
+			sp.partition(points, ids, posP, posQ)
+			return sp.aPts, sp.bPts, sp.aIDs, sp.bIDs
 		}
-		a, b := partitionBetween(sp.Space, points, u, v)
-		return sp.orientByDisplacement(a, b, posP, posQ)
+		sp.partition(points, ids, u, v)
+		return sp.orientByDisplacement(posP, posQ)
 	default: // SplitBasic and unset
-		return splitByPositions(sp.Space, points, posP, posQ)
+		sp.partition(points, ids, posP, posQ)
+		return sp.aPts, sp.bPts, sp.aIDs, sp.bIDs
 	}
 }
 
@@ -130,39 +148,35 @@ func (sp *Splitter) diameter(points []space.Point) (u, v space.Point, ok bool) {
 	return points[i], points[j], true
 }
 
-// splitByPositions is Algorithm 4 (SPLIT_BASIC): points strictly closer to
-// posP go to p; ties and the rest go to q.
-func splitByPositions(s space.Space, points []space.Point, posP, posQ space.Point) (toP, toQ []space.Point) {
-	for _, x := range points {
-		if s.Distance(x, posP) < s.Distance(x, posQ) {
-			toP = append(toP, x)
+// partition implements the shared closest-pole rule of Algorithm 4
+// (SPLIT_BASIC, poles = node positions) and heuristic PD (Algorithm 5
+// lines 2-4, poles = a diameter): points strictly closer to poleA go into
+// the a-buffers; ties and the rest into b. ids, when non-nil, follows in
+// lockstep.
+func (sp *Splitter) partition(points []space.Point, ids []space.PointID, poleA, poleB space.Point) {
+	s := sp.Space
+	for i, x := range points {
+		if s.Distance(x, poleA) < s.Distance(x, poleB) {
+			sp.aPts = append(sp.aPts, x)
+			if ids != nil {
+				sp.aIDs = append(sp.aIDs, ids[i])
+			}
 		} else {
-			toQ = append(toQ, x)
+			sp.bPts = append(sp.bPts, x)
+			if ids != nil {
+				sp.bIDs = append(sp.bIDs, ids[i])
+			}
 		}
 	}
-	return toP, toQ
-}
-
-// partitionBetween implements heuristic PD (Algorithm 5, lines 2-4):
-// points strictly closer to u form one part, ties and the rest the other.
-func partitionBetween(s space.Space, points []space.Point, u, v space.Point) (partU, partV []space.Point) {
-	for _, x := range points {
-		if s.Distance(x, u) < s.Distance(x, v) {
-			partU = append(partU, x)
-		} else {
-			partV = append(partV, x)
-		}
-	}
-	return partU, partV
 }
 
 // orientByDisplacement implements heuristic MD (Algorithm 5, lines 5-13):
-// allocate the two clusters to p and q so the sum of medoid-to-position
-// distances — how far each node would move — is minimal. Empty clusters
-// contribute no displacement.
-func (sp *Splitter) orientByDisplacement(a, b []space.Point, posP, posQ space.Point) (toP, toQ []space.Point) {
-	ma := space.MedoidPoint(sp.Space, a)
-	mb := space.MedoidPoint(sp.Space, b)
+// allocate the two assembled clusters to p and q so the sum of
+// medoid-to-position distances — how far each node would move — is
+// minimal. Empty clusters contribute no displacement.
+func (sp *Splitter) orientByDisplacement(posP, posQ space.Point) (toP, toQ []space.Point, idsP, idsQ []space.PointID) {
+	ma := space.MedoidPoint(sp.Space, sp.aPts)
+	mb := space.MedoidPoint(sp.Space, sp.bPts)
 	dist := func(m, pos space.Point) float64 {
 		if m == nil {
 			return 0
@@ -172,7 +186,7 @@ func (sp *Splitter) orientByDisplacement(a, b []space.Point, posP, posQ space.Po
 	deltaAB := dist(ma, posP) + dist(mb, posQ)
 	deltaBA := dist(mb, posP) + dist(ma, posQ)
 	if deltaAB < deltaBA {
-		return a, b
+		return sp.aPts, sp.bPts, sp.aIDs, sp.bIDs
 	}
-	return b, a
+	return sp.bPts, sp.aPts, sp.bIDs, sp.aIDs
 }

@@ -37,6 +37,13 @@ func newFig5() fig5Config {
 	return cfg
 }
 
+// splitPts runs Split without identity tracking and copies the partitions
+// out of the splitter's scratch, so tests can hold several results at once.
+func splitPts(sp *Splitter, pts []space.Point, posP, posQ space.Point) (toP, toQ []space.Point) {
+	a, b, _, _ := sp.Split(pts, nil, posP, posQ)
+	return append([]space.Point{}, a...), append([]space.Point{}, b...)
+}
+
 func pointSet(pts []space.Point) string {
 	keys := make([]string, len(pts))
 	for i, p := range pts {
@@ -51,7 +58,7 @@ func sameSet(a, b []space.Point) bool { return pointSet(a) == pointSet(b) }
 func TestFig5BasicStatusQuo(t *testing.T) {
 	cfg := newFig5()
 	sp := &Splitter{Kind: SplitBasic, Space: cfg.space}
-	toP, toQ := sp.Split(cfg.all, cfg.posP, cfg.posQ)
+	toP, toQ := splitPts(sp, cfg.all, cfg.posP, cfg.posQ)
 	if !sameSet(toP, []space.Point{cfg.a, cfg.b, cfg.c}) {
 		t.Fatalf("basic split toP = %v, want {a,b,c}", toP)
 	}
@@ -63,7 +70,7 @@ func TestFig5BasicStatusQuo(t *testing.T) {
 func TestFig5AdvancedImproves(t *testing.T) {
 	cfg := newFig5()
 	sp := &Splitter{Kind: SplitAdvanced, Space: cfg.space}
-	toP, toQ := sp.Split(cfg.all, cfg.posP, cfg.posQ)
+	toP, toQ := splitPts(sp, cfg.all, cfg.posP, cfg.posQ)
 	if !sameSet(toP, []space.Point{cfg.b, cfg.c, cfg.e, cfg.f}) {
 		t.Fatalf("advanced split toP = %v, want {b,c,e,f}", toP)
 	}
@@ -83,7 +90,7 @@ func TestFig5AdvancedImproves(t *testing.T) {
 func TestFig5PDPartition(t *testing.T) {
 	cfg := newFig5()
 	sp := &Splitter{Kind: SplitPD, Space: cfg.space}
-	toP, toQ := sp.Split(cfg.all, cfg.posP, cfg.posQ)
+	toP, toQ := splitPts(sp, cfg.all, cfg.posP, cfg.posQ)
 	clusterAD := []space.Point{cfg.a, cfg.d}
 	clusterBCEF := []space.Point{cfg.b, cfg.c, cfg.e, cfg.f}
 	ok := (sameSet(toP, clusterAD) && sameSet(toQ, clusterBCEF)) ||
@@ -103,11 +110,11 @@ func TestMDOrientationMinimisesDisplacement(t *testing.T) {
 	all := append(append([]space.Point{}, clusterA...), clusterB...)
 	sp := &Splitter{Kind: SplitAdvanced, Space: s}
 
-	toP, toQ := sp.Split(all, space.Point{10}, space.Point{0})
+	toP, toQ := splitPts(sp, all, space.Point{10}, space.Point{0})
 	if !sameSet(toP, clusterB) || !sameSet(toQ, clusterA) {
 		t.Fatalf("MD did not keep nodes near their clusters: toP=%v toQ=%v", toP, toQ)
 	}
-	toP, toQ = sp.Split(all, space.Point{0}, space.Point{10})
+	toP, toQ = splitPts(sp, all, space.Point{0}, space.Point{10})
 	if !sameSet(toP, clusterA) || !sameSet(toQ, clusterB) {
 		t.Fatalf("MD mis-oriented: toP=%v toQ=%v", toP, toQ)
 	}
@@ -118,13 +125,13 @@ func TestSplitMDAloneUsesBasicPartition(t *testing.T) {
 	s := space.NewEuclidean(1)
 	all := []space.Point{{0}, {1}, {9}, {10}}
 	md := &Splitter{Kind: SplitMD, Space: s}
-	toP, toQ := md.Split(all, space.Point{0.5}, space.Point{9.5})
+	toP, toQ := splitPts(md, all, space.Point{0.5}, space.Point{9.5})
 	if !sameSet(toP, []space.Point{{0}, {1}}) || !sameSet(toQ, []space.Point{{9}, {10}}) {
 		t.Fatalf("MD split = %v / %v", toP, toQ)
 	}
 	// With swapped positions, MD swaps the allocation (basic would too
 	// here, but MD must in particular not double-swap).
-	toP, toQ = md.Split(all, space.Point{9.5}, space.Point{0.5})
+	toP, toQ = splitPts(md, all, space.Point{9.5}, space.Point{0.5})
 	if !sameSet(toP, []space.Point{{9}, {10}}) || !sameSet(toQ, []space.Point{{0}, {1}}) {
 		t.Fatalf("MD swapped split = %v / %v", toP, toQ)
 	}
@@ -135,12 +142,12 @@ func TestSplitEdgeCases(t *testing.T) {
 	posP, posQ := space.Point{0, 0}, space.Point{1, 0}
 	for _, kind := range []SplitKind{SplitBasic, SplitPD, SplitMD, SplitAdvanced} {
 		sp := &Splitter{Kind: kind, Space: s}
-		toP, toQ := sp.Split(nil, posP, posQ)
+		toP, toQ := splitPts(sp, nil, posP, posQ)
 		if len(toP) != 0 || len(toQ) != 0 {
 			t.Errorf("%v: empty input produced %v / %v", kind, toP, toQ)
 		}
 		single := []space.Point{{0.1, 0}}
-		toP, toQ = sp.Split(single, posP, posQ)
+		toP, toQ = splitPts(sp, single, posP, posQ)
 		if len(toP)+len(toQ) != 1 {
 			t.Errorf("%v: single point lost or duplicated: %v / %v", kind, toP, toQ)
 		}
@@ -154,7 +161,7 @@ func TestSplitIdenticalPoints(t *testing.T) {
 	pts := []space.Point{{1, 1}, {1, 1}, {1, 1}}
 	for _, kind := range []SplitKind{SplitBasic, SplitPD, SplitMD, SplitAdvanced} {
 		sp := &Splitter{Kind: kind, Space: s}
-		toP, toQ := sp.Split(pts, space.Point{0, 0}, space.Point{2, 2})
+		toP, toQ := splitPts(sp, pts, space.Point{0, 0}, space.Point{2, 2})
 		if len(toP)+len(toQ) != 3 {
 			t.Errorf("%v: identical points lost: %d+%d", kind, len(toP), len(toQ))
 		}
@@ -176,7 +183,7 @@ func TestSplitPartitionProperty(t *testing.T) {
 			}
 			posP := space.Point{40 * rng.Float64(), 40 * rng.Float64()}
 			posQ := space.Point{40 * rng.Float64(), 40 * rng.Float64()}
-			toP, toQ := sp.Split(pts, posP, posQ)
+			toP, toQ := splitPts(sp, pts, posP, posQ)
 			if len(toP)+len(toQ) != n {
 				t.Fatalf("%v trial %d: %d points in, %d out", kind, trial, n, len(toP)+len(toQ))
 			}
@@ -206,7 +213,7 @@ func TestSplitLargeSetUsesSampledDiameter(t *testing.T) {
 		pts[i] = space.Point{rng.Float64() * 100, rng.Float64() * 100}
 	}
 	sp := &Splitter{Kind: SplitAdvanced, Space: s, DiameterSampleCap: 300, Rng: rng}
-	toP, toQ := sp.Split(pts, space.Point{0, 0}, space.Point{100, 100})
+	toP, toQ := splitPts(sp, pts, space.Point{0, 0}, space.Point{100, 100})
 	if len(toP)+len(toQ) != 200 || len(toP) == 0 || len(toQ) == 0 {
 		t.Fatalf("sampled split sizes %d/%d", len(toP), len(toQ))
 	}

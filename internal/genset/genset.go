@@ -1,0 +1,36 @@
+// Package genset provides the generation-stamped membership set over
+// dense integer IDs that the protocol layers use instead of per-call maps:
+// starting a fresh, empty set is O(1) (bump a generation counter), and
+// insert/lookup are single array accesses. T-Man's view merges and
+// Polystyrene's point-set unions, backup deltas and target exclusion all
+// pool one of these per protocol instance (the engine is sequential, so
+// instance-level scratch is safe — the same discipline as topk.Scratch).
+package genset
+
+// Set is a reusable membership set over dense non-negative IDs (NodeIDs,
+// PointIDs). The zero value is ready to use. Not safe for concurrent use.
+type Set struct {
+	stamp []uint32
+	gen   uint32
+}
+
+// Next sizes the set to hold IDs in [0, n), starts a new (empty)
+// generation and returns the stamp array together with the generation
+// token: callers insert with stamp[id] = gen and test membership with
+// stamp[id] == gen. The returned slice is only valid until the next call
+// to Next, which may grow it.
+func (s *Set) Next(n int) (stamp []uint32, gen uint32) {
+	if len(s.stamp) < n {
+		grown := make([]uint32, n)
+		copy(grown, s.stamp)
+		s.stamp = grown
+	}
+	s.gen++
+	if s.gen == 0 { // wrapped: stale stamps could collide, reset them
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.gen = 1
+	}
+	return s.stamp, s.gen
+}

@@ -1,0 +1,61 @@
+package genset
+
+import "testing"
+
+func TestNextStartsEmpty(t *testing.T) {
+	var s Set
+	stamp, gen := s.Next(8)
+	if len(stamp) != 8 {
+		t.Fatalf("stamp len %d, want 8", len(stamp))
+	}
+	for id, v := range stamp {
+		if v == gen {
+			t.Fatalf("fresh set already contains %d", id)
+		}
+	}
+	stamp[3] = gen
+	if stamp[3] != gen {
+		t.Fatal("insert lost")
+	}
+	// Next generation: previous members are gone.
+	stamp2, gen2 := s.Next(8)
+	if gen2 == gen {
+		t.Fatal("generation did not advance")
+	}
+	if stamp2[3] == gen2 {
+		t.Fatal("stale member survived into the new generation")
+	}
+}
+
+func TestNextGrowsAndKeepsGeneration(t *testing.T) {
+	var s Set
+	stamp, gen := s.Next(2)
+	stamp[1] = gen
+	// Growing within the same logical usage pattern: a later, larger Next
+	// must still present an empty set.
+	stamp, gen = s.Next(100)
+	if len(stamp) != 100 {
+		t.Fatalf("stamp len %d, want 100", len(stamp))
+	}
+	for id, v := range stamp {
+		if v == gen {
+			t.Fatalf("grown set already contains %d", id)
+		}
+	}
+}
+
+func TestGenerationWrapResets(t *testing.T) {
+	var s Set
+	stamp, _ := s.Next(4)
+	stamp[0] = ^uint32(0) // a stale stamp that would collide after wrap
+	s.gen = ^uint32(0)    // force the next increment to wrap
+	stamp, gen := s.Next(4)
+	if gen != 1 {
+		t.Fatalf("wrapped generation = %d, want 1", gen)
+	}
+	for id, v := range stamp {
+		if v == gen {
+			t.Fatalf("post-wrap set contains %d (stale stamps not reset)", id)
+		}
+	}
+}

@@ -52,6 +52,17 @@ func TorusKeyMapper(t space.Torus) KeyMapper {
 	}
 }
 
+// InterningKeyMapper wraps m so that every mapped point is registered in
+// the interner and the canonical interned instance is returned: repeated
+// mappings of one key share a single Point (and dense space.PointID via
+// Interner.Lookup), so stores and overlays can key per-point state by
+// integer identity instead of hashing coordinates again.
+func InterningKeyMapper(in *space.Interner, m KeyMapper) KeyMapper {
+	return func(key string) space.Point {
+		return in.PointOf(in.Intern(m(key)))
+	}
+}
+
 // Config parameterises the store. All reference fields are required.
 type Config struct {
 	// Space supplies the metric.

@@ -79,6 +79,35 @@ func TestTorusKeyMapperDeterministicAndInRange(t *testing.T) {
 	}
 }
 
+func TestInterningKeyMapperCanonicalises(t *testing.T) {
+	tor := space.NewTorus(20, 10)
+	in := space.NewInterner()
+	m := InterningKeyMapper(in, TorusKeyMapper(tor))
+	a, b := m("hello"), m("hello")
+	if &a[0] != &b[0] {
+		t.Fatal("repeated mappings should share one canonical Point instance")
+	}
+	if pid, ok := in.Lookup(a); !ok || !in.PointOf(pid).Equal(a) {
+		t.Fatal("mapped point was not registered in the interner")
+	}
+	if m("a").Equal(m("b")) {
+		t.Fatal("distinct keys mapped identically")
+	}
+	if in.Len() != 3 { // hello, a, b
+		t.Fatalf("interner holds %d points, want 3", in.Len())
+	}
+	// An interning store still round-trips.
+	ts := newTestStore(t, 12, true)
+	ts.store.cfg.Map = InterningKeyMapper(in, TorusKeyMapper(ts.sc.Space))
+	ts.sc.Run(10)
+	if _, err := ts.store.Put(ts.sc.Engine, "k1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := ts.store.Get(ts.sc.Engine, "k1"); !ok || string(v) != "v1" {
+		t.Fatalf("Get = (%q, %v) through interning mapper", v, ok)
+	}
+}
+
 func TestPutGetRoundTrip(t *testing.T) {
 	ts := newTestStore(t, 1, true)
 	ts.sc.Run(10)

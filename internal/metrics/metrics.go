@@ -3,6 +3,14 @@
 // derived reshaping time), data points per node, message cost — plus the
 // reliability measure of Table II and the summary statistics (mean and 95%
 // confidence intervals) used to aggregate repeated experiments.
+//
+// Homogeneity and Reliability exist in two equivalent forms: the
+// full-scan originals, which rebuild the guests⁻¹ map from scratch on
+// every call (O(N·g) plus a string key per hosted point), and the indexed
+// forms, which read an incrementally maintained HolderIndex (the core
+// layer's) in O(holders) per data point. The full-scan forms are the
+// reference oracle: the indexed forms must return bit-identical values,
+// and the cross-check tests pin that.
 package metrics
 
 import (
@@ -19,16 +27,34 @@ import (
 type System interface {
 	// Space returns the metric data space.
 	Space() space.Space
-	// Live returns the IDs of live nodes.
+	// Live returns the IDs of live nodes in ascending order. The returned
+	// slice is only valid until the next Live call — implementations may
+	// reuse one buffer — and must not be mutated.
 	Live() []sim.NodeID
+	// Alive reports whether a node is currently live.
+	Alive(id sim.NodeID) bool
 	// Position returns a live node's current virtual position.
 	Position(id sim.NodeID) space.Point
 	// Guests returns the data points a node currently hosts as primary.
+	// The slice is only valid until the next Guests call — implementations
+	// may reuse one buffer — and must not be mutated; only the full-scan
+	// oracle paths consume it (fast paths use NumGuests or a HolderIndex).
 	Guests(id sim.NodeID) []space.Point
+	// NumGuests returns the number of primary data points at a node.
+	NumGuests(id sim.NodeID) int
 	// NumGhosts returns the number of inactive replica points at a node.
 	NumGhosts(id sim.NodeID) int
 	// Neighbors returns the k closest overlay neighbours of a node.
 	Neighbors(id sim.NodeID, k int) []sim.NodeID
+}
+
+// HolderIndex is an incrementally maintained guests⁻¹ view: for an
+// interned data point, the nodes currently hosting it as a guest.
+// core.Protocol satisfies it. The returned slice may contain crashed
+// nodes (a crash is not an observable transition for the maintainer);
+// consumers filter with System.Alive.
+type HolderIndex interface {
+	HoldersOf(id space.PointID) []sim.NodeID
 }
 
 // Proximity is the paper's main topology-quality metric: the mean distance
@@ -56,6 +82,9 @@ func Proximity(sys System, k int) float64 {
 // node that hosts x as a guest — or, when x has been lost, to the nearest
 // node of the whole network (the ĝuests⁻¹ fallback of Sec. IV-A). Lower is
 // better; 0 means every original point is hosted exactly in place.
+//
+// This is the full-scan reference implementation; HomogeneityIndexed is
+// the equivalent fast path over an incremental HolderIndex.
 func Homogeneity(sys System, datapoints []space.Point) float64 {
 	live := sys.Live()
 	if len(live) == 0 || len(datapoints) == 0 {
@@ -95,6 +124,45 @@ func Homogeneity(sys System, datapoints []space.Point) float64 {
 	return sum / float64(len(datapoints))
 }
 
+// HomogeneityIndexed computes exactly Homogeneity, but resolves each data
+// point's holders through the incrementally maintained index instead of
+// rebuilding the guests⁻¹ map: O(holders) per hosted point, touching live
+// nodes only for lost points. ids must carry the datapoints' interned IDs
+// in lockstep (from the same interner the index maintainer uses).
+func HomogeneityIndexed(sys System, idx HolderIndex, datapoints []space.Point, ids []space.PointID) float64 {
+	if len(datapoints) != len(ids) {
+		panic("metrics: datapoints and ids length mismatch")
+	}
+	live := sys.Live()
+	if len(live) == 0 || len(datapoints) == 0 {
+		return 0
+	}
+	s := sys.Space()
+	sum := 0.0
+	for i, x := range datapoints {
+		best := math.Inf(1)
+		hosted := false
+		for _, id := range idx.HoldersOf(ids[i]) {
+			if !sys.Alive(id) {
+				continue
+			}
+			hosted = true
+			if d := s.Distance(x, sys.Position(id)); d < best {
+				best = d
+			}
+		}
+		if !hosted {
+			for _, id := range live {
+				if d := s.Distance(x, sys.Position(id)); d < best {
+					best = d
+				}
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(datapoints))
+}
+
 // ReferenceHomogeneity returns H^N_A = (1/2)·sqrt(A/N), the paper's rough
 // upper bound on the homogeneity of an ideal distribution of N nodes over
 // a 2D surface of area A (Sec. IV-A). A topology counts as "reshaped" once
@@ -116,7 +184,7 @@ func DataPointsPerNode(sys System) float64 {
 	}
 	total := 0
 	for _, id := range live {
-		total += len(sys.Guests(id)) + sys.NumGhosts(id)
+		total += sys.NumGuests(id) + sys.NumGhosts(id)
 	}
 	return float64(total) / float64(len(live))
 }
@@ -132,6 +200,9 @@ func MessageCostPerNode(e *sim.Engine, round int) float64 {
 
 // Reliability is the Table II measure: the fraction of the original data
 // points still hosted (as a guest) by at least one live node.
+//
+// This is the full-scan reference implementation; ReliabilityIndexed is
+// the equivalent fast path over an incremental HolderIndex.
 func Reliability(sys System, datapoints []space.Point) float64 {
 	if len(datapoints) == 0 {
 		return 1
@@ -149,4 +220,23 @@ func Reliability(sys System, datapoints []space.Point) float64 {
 		}
 	}
 	return float64(surviving) / float64(len(datapoints))
+}
+
+// ReliabilityIndexed computes exactly Reliability through the holders
+// index: a point survives iff any of its indexed holders is live. ids are
+// the original datapoints' interned IDs.
+func ReliabilityIndexed(sys System, idx HolderIndex, ids []space.PointID) float64 {
+	if len(ids) == 0 {
+		return 1
+	}
+	surviving := 0
+	for _, pid := range ids {
+		for _, id := range idx.HoldersOf(pid) {
+			if sys.Alive(id) {
+				surviving++
+				break
+			}
+		}
+	}
+	return float64(surviving) / float64(len(ids))
 }

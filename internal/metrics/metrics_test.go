@@ -18,10 +18,19 @@ type fakeSystem struct {
 	neighbors map[sim.NodeID][]sim.NodeID
 }
 
-func (f *fakeSystem) Space() space.Space                 { return f.spc }
-func (f *fakeSystem) Live() []sim.NodeID                 { return f.live }
+func (f *fakeSystem) Space() space.Space { return f.spc }
+func (f *fakeSystem) Live() []sim.NodeID { return f.live }
+func (f *fakeSystem) Alive(id sim.NodeID) bool {
+	for _, l := range f.live {
+		if l == id {
+			return true
+		}
+	}
+	return false
+}
 func (f *fakeSystem) Position(id sim.NodeID) space.Point { return f.positions[id] }
 func (f *fakeSystem) Guests(id sim.NodeID) []space.Point { return f.guests[id] }
+func (f *fakeSystem) NumGuests(id sim.NodeID) int        { return len(f.guests[id]) }
 func (f *fakeSystem) NumGhosts(id sim.NodeID) int        { return f.ghosts[id] }
 func (f *fakeSystem) Neighbors(id sim.NodeID, k int) []sim.NodeID {
 	nbs := f.neighbors[id]

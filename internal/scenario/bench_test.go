@@ -2,7 +2,54 @@ package scenario
 
 import (
 	"testing"
+
+	"polystyrene/internal/metrics"
 )
+
+// BenchmarkMetricsRound measures one full per-round metrics sweep
+// (homogeneity, reliability, proximity, data points per node) over a
+// post-catastrophe population — exactly what the record observer and the
+// reshaping-time stop condition pay every round. The "indexed" variant
+// reads the Polystyrene layer's incremental holders index; "fullscan" is
+// the string-keyed rebuild-and-scan baseline kept as the oracle. Both are
+// recorded in the tracked BENCH_*.json.
+func BenchmarkMetricsRound(b *testing.B) {
+	mkScenario := func() *Scenario {
+		sc := MustNew(Config{Seed: 21, W: 40, H: 20, Polystyrene: true, K: 4, SkipMetrics: true})
+		sc.Run(20)
+		sc.FailRightHalf()
+		sc.Run(10)
+		return sc
+	}
+	b.Run("indexed", func(b *testing.B) {
+		sc := mkScenario()
+		sys := sc.System()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += metrics.HomogeneityIndexed(sys, sc.Poly(), sc.Points, sc.PointIDs)
+			sink += metrics.ReliabilityIndexed(sys, sc.Poly(), sc.PointIDs)
+			sink += metrics.Proximity(sys, sc.Cfg.NeighborK)
+			sink += metrics.DataPointsPerNode(sys)
+		}
+		_ = sink
+	})
+	b.Run("fullscan", func(b *testing.B) {
+		sc := mkScenario()
+		sys := sc.System()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += metrics.Homogeneity(sys, sc.Points)
+			sink += metrics.Reliability(sys, sc.Points)
+			sink += metrics.Proximity(sys, sc.Cfg.NeighborK)
+			sink += metrics.DataPointsPerNode(sys)
+		}
+		_ = sink
+	})
+}
 
 // BenchmarkMeasureReshaping measures the full-stack reshaping experiment
 // at a small grid — the unit of work every sweep cell executes.

@@ -22,6 +22,7 @@ import (
 	"polystyrene/internal/fd"
 	"polystyrene/internal/metrics"
 	"polystyrene/internal/rps"
+	"polystyrene/internal/shape"
 	"polystyrene/internal/sim"
 	"polystyrene/internal/space"
 	"polystyrene/internal/tman"
@@ -92,8 +93,13 @@ type Scenario struct {
 	Engine *sim.Engine
 	Space  space.Torus
 	// Points are the original data points — the target shape. Index i is
-	// the original position of node i.
-	Points []space.Point
+	// the original position of node i. PointIDs carries their interned
+	// identities in lockstep: the scenario owns the interner shared with
+	// the Polystyrene layer, so the indexed metrics resolve the same IDs
+	// the protocol maintains.
+	Points   []space.Point
+	PointIDs []space.PointID
+	Interner *space.Interner
 
 	sampler *rps.Protocol
 	topo    topology
@@ -102,6 +108,10 @@ type Scenario struct {
 	// fixedPos holds positions of reinjected nodes in the plain T-Man
 	// configuration (indexed by NodeID; nil entries fall back to Points).
 	fixedPos map[sim.NodeID]space.Point
+
+	// sys is the persistent metrics view (polySystem or tmanSystem); its
+	// live-ID buffer is reused across rounds.
+	sys metrics.System
 
 	result *Result
 }
@@ -124,11 +134,15 @@ func New(cfg Config) (*Scenario, error) {
 	sc := &Scenario{
 		Cfg:      cfg,
 		Space:    space.TorusForGrid(cfg.W, cfg.H, cfg.Step),
-		Points:   space.TorusGrid(cfg.W, cfg.H, cfg.Step),
+		Points:   shape.Grid(cfg.W, cfg.H, cfg.Step),
+		Interner: space.NewInterner(),
 		sampler:  rps.New(rps.Config{}),
 		fixedPos: make(map[sim.NodeID]space.Point),
 		result:   &Result{},
 	}
+	// Generated shapes register into the interner once at setup
+	// (intern-before-use); the IDs feed the indexed metrics.
+	sc.PointIDs = shape.Intern(sc.Interner, sc.Points)
 
 	switch cfg.Overlay {
 	case "", "tman":
@@ -162,6 +176,7 @@ func New(cfg Config) (*Scenario, error) {
 			Topology:       sc.topo,
 			Sampler:        sc.sampler,
 			Detector:       cfg.Detector,
+			Interner:       sc.Interner,
 			K:              cfg.K,
 			Split:          cfg.Split,
 			Placement:      cfg.Placement,
@@ -173,6 +188,9 @@ func New(cfg Config) (*Scenario, error) {
 		}
 		sc.poly = poly
 		layers = append(layers, poly)
+		sc.sys = &polySystem{sc: sc}
+	} else {
+		sc.sys = &tmanSystem{sc: sc}
 	}
 
 	sc.Engine = sim.New(cfg.Seed, layers...)
@@ -266,13 +284,15 @@ func (sc *Scenario) Reinject(n int) []sim.NodeID {
 	return ids
 }
 
-// record is the per-round metrics observer.
+// record is the per-round metrics observer. Under Polystyrene the
+// homogeneity reading comes from the layer's incremental holders index;
+// the plain baseline keeps the full-scan path (its "guest set" is the
+// node position, which no index maintains).
 func (sc *Scenario) record(e *sim.Engine, round int) {
-	sys := sc.System()
 	r := sc.result
-	r.Homogeneity = append(r.Homogeneity, metrics.Homogeneity(sys, sc.Points))
-	r.Proximity = append(r.Proximity, metrics.Proximity(sys, sc.Cfg.NeighborK))
-	r.DataPoints = append(r.DataPoints, metrics.DataPointsPerNode(sys))
+	r.Homogeneity = append(r.Homogeneity, sc.Homogeneity())
+	r.Proximity = append(r.Proximity, metrics.Proximity(sc.sys, sc.Cfg.NeighborK))
+	r.DataPoints = append(r.DataPoints, metrics.DataPointsPerNode(sc.sys))
 	r.MsgCost = append(r.MsgCost, metrics.MessageCostPerNode(e, round))
 	r.LiveNodes = append(r.LiveNodes, e.NumLive())
 }
@@ -280,13 +300,9 @@ func (sc *Scenario) record(e *sim.Engine, round int) {
 // Result returns the metric record accumulated so far.
 func (sc *Scenario) Result() *Result { return sc.result }
 
-// System returns the metrics view of the current configuration.
-func (sc *Scenario) System() metrics.System {
-	if sc.poly != nil {
-		return &polySystem{sc}
-	}
-	return &tmanSystem{sc}
-}
+// System returns the metrics view of the current configuration. The view
+// is persistent and reuses an internal live-ID buffer across Live calls.
+func (sc *Scenario) System() metrics.System { return sc.sys }
 
 // ReferenceHomogeneity returns H for the current live population.
 func (sc *Scenario) ReferenceHomogeneity() float64 {
@@ -295,13 +311,20 @@ func (sc *Scenario) ReferenceHomogeneity() float64 {
 
 // Reliability returns the fraction of original data points still hosted.
 func (sc *Scenario) Reliability() float64 {
-	return metrics.Reliability(sc.System(), sc.Points)
+	if sc.poly != nil {
+		return metrics.ReliabilityIndexed(sc.sys, sc.poly, sc.PointIDs)
+	}
+	return metrics.Reliability(sc.sys, sc.Points)
 }
 
 // Homogeneity computes the current homogeneity on demand (useful when
-// SkipMetrics is set).
+// SkipMetrics is set). It reads the Polystyrene holders index when the
+// layer is present and falls back to the full scan for the baseline.
 func (sc *Scenario) Homogeneity() float64 {
-	return metrics.Homogeneity(sc.System(), sc.Points)
+	if sc.poly != nil {
+		return metrics.HomogeneityIndexed(sc.sys, sc.poly, sc.Points, sc.PointIDs)
+	}
+	return metrics.Homogeneity(sc.sys, sc.Points)
 }
 
 // topology is what the scenario needs from the overlay layer: it must be
@@ -318,28 +341,53 @@ func (sc *Scenario) Topology() core.Topology { return sc.topo }
 // Poly exposes the Polystyrene layer, nil in the baseline configuration.
 func (sc *Scenario) Poly() *core.Protocol { return sc.poly }
 
-// polySystem adapts the full stack to metrics.System.
-type polySystem struct{ sc *Scenario }
+// polySystem adapts the full stack to metrics.System. liveBuf and
+// guestBuf back Live and Guests so per-round metric sweeps reuse two
+// allocations instead of cloning per node.
+type polySystem struct {
+	sc       *Scenario
+	liveBuf  []sim.NodeID
+	guestBuf []space.Point
+}
 
-func (s *polySystem) Space() space.Space                 { return s.sc.Space }
-func (s *polySystem) Live() []sim.NodeID                 { return s.sc.Engine.LiveIDs() }
+func (s *polySystem) Space() space.Space { return s.sc.Space }
+func (s *polySystem) Live() []sim.NodeID {
+	s.liveBuf = s.sc.Engine.AppendLiveIDs(s.liveBuf[:0])
+	return s.liveBuf
+}
+func (s *polySystem) Alive(id sim.NodeID) bool           { return s.sc.Engine.Alive(id) }
 func (s *polySystem) Position(id sim.NodeID) space.Point { return s.sc.poly.Position(id) }
-func (s *polySystem) Guests(id sim.NodeID) []space.Point { return s.sc.poly.Guests(id) }
-func (s *polySystem) NumGhosts(id sim.NodeID) int        { return s.sc.poly.NumGhosts(id) }
+func (s *polySystem) Guests(id sim.NodeID) []space.Point {
+	s.guestBuf = s.sc.poly.AppendGuests(id, s.guestBuf[:0])
+	return s.guestBuf
+}
+func (s *polySystem) NumGuests(id sim.NodeID) int { return s.sc.poly.NumGuests(id) }
+func (s *polySystem) NumGhosts(id sim.NodeID) int { return s.sc.poly.NumGhosts(id) }
 func (s *polySystem) Neighbors(id sim.NodeID, k int) []sim.NodeID {
 	return s.sc.topo.Neighbors(id, k)
 }
 
 // tmanSystem adapts the baseline: a node's single "guest" is its fixed
-// position and it stores no ghosts (paper Sec. IV-A).
-type tmanSystem struct{ sc *Scenario }
+// position and it stores no ghosts (paper Sec. IV-A). guestBuf backs the
+// single-point Guests answer so metric sweeps do not allocate per node.
+type tmanSystem struct {
+	sc       *Scenario
+	liveBuf  []sim.NodeID
+	guestBuf [1]space.Point
+}
 
-func (s *tmanSystem) Space() space.Space                 { return s.sc.Space }
-func (s *tmanSystem) Live() []sim.NodeID                 { return s.sc.Engine.LiveIDs() }
+func (s *tmanSystem) Space() space.Space { return s.sc.Space }
+func (s *tmanSystem) Live() []sim.NodeID {
+	s.liveBuf = s.sc.Engine.AppendLiveIDs(s.liveBuf[:0])
+	return s.liveBuf
+}
+func (s *tmanSystem) Alive(id sim.NodeID) bool           { return s.sc.Engine.Alive(id) }
 func (s *tmanSystem) Position(id sim.NodeID) space.Point { return s.sc.position(id) }
 func (s *tmanSystem) Guests(id sim.NodeID) []space.Point {
-	return []space.Point{s.sc.position(id)}
+	s.guestBuf[0] = s.sc.position(id)
+	return s.guestBuf[:]
 }
+func (s *tmanSystem) NumGuests(sim.NodeID) int { return 1 }
 func (s *tmanSystem) NumGhosts(sim.NodeID) int { return 0 }
 func (s *tmanSystem) Neighbors(id sim.NodeID, k int) []sim.NodeID {
 	return s.sc.topo.Neighbors(id, k)

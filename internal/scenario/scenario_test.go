@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"polystyrene/internal/core"
+	"polystyrene/internal/metrics"
 )
 
 // smallCfg is a fast, unit-test-scale version of the paper's setup.
@@ -302,6 +303,38 @@ func TestSplitFunctionAffectsReshaping(t *testing.T) {
 	advanced := measure(core.SplitAdvanced)
 	if advanced > basic+2 {
 		t.Errorf("advanced split (%.1f rounds) slower than basic (%.1f)", advanced, basic)
+	}
+}
+
+func TestIndexedMetricsMatchFullScanOracle(t *testing.T) {
+	// The per-round metrics read the core layer's incremental holders
+	// index; the string-keyed full scans are kept as the oracle. Across
+	// the whole 3-phase scenario the two must agree bit for bit — this is
+	// what licenses recording only the indexed values.
+	sc := MustNew(smallCfg(33, true))
+	phases := smallPhases()
+	checkRound := func(round int) {
+		sys := sc.System()
+		gotH := metrics.HomogeneityIndexed(sys, sc.Poly(), sc.Points, sc.PointIDs)
+		wantH := metrics.Homogeneity(sys, sc.Points)
+		if gotH != wantH {
+			t.Fatalf("round %d: indexed homogeneity %v != full-scan %v", round, gotH, wantH)
+		}
+		gotR := metrics.ReliabilityIndexed(sys, sc.Poly(), sc.PointIDs)
+		wantR := metrics.Reliability(sys, sc.Points)
+		if gotR != wantR {
+			t.Fatalf("round %d: indexed reliability %v != full-scan %v", round, gotR, wantR)
+		}
+	}
+	for round := 0; round < phases.End; round++ {
+		if round == phases.FailAt {
+			sc.FailRightHalf()
+		}
+		if round == phases.ReinjectAt {
+			sc.Reinject(40)
+		}
+		sc.Run(1)
+		checkRound(round)
 	}
 }
 

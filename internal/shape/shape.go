@@ -21,6 +21,16 @@ func Grid(w, h int, step float64) []space.Point {
 	return space.TorusGrid(w, h, step)
 }
 
+// Intern registers a generated shape into the interner and returns the
+// points' dense IDs in lockstep. Shape generators produce the fixed data
+// universe of a system (the shape *is* the point set, Sec. III-A), so the
+// whole universe is interned once at setup — the intern-before-use
+// invariant the ID-keyed protocol layers rely on (see space.Interner).
+// Points must already be canonical for the target space.
+func Intern(in *space.Interner, pts []space.Point) []space.PointID {
+	return in.InternAll(pts)
+}
+
 // Ring returns n points evenly spaced on a 1D ring.
 func Ring(n int, circumference float64) []space.Point {
 	return space.RingPoints(n, circumference)

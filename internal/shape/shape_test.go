@@ -109,6 +109,31 @@ func TestUniformTorus(t *testing.T) {
 	}
 }
 
+func TestInternRegistersGeneratedShape(t *testing.T) {
+	in := space.NewInterner()
+	pts := Cross(25, 20, 0.5)
+	ids := Intern(in, pts)
+	if len(ids) != len(pts) || in.Len() != len(pts) {
+		t.Fatalf("interned %d IDs / %d points for a %d-point shape",
+			len(ids), in.Len(), len(pts))
+	}
+	for i, id := range ids {
+		if !in.PointOf(id).Equal(pts[i]) {
+			t.Fatalf("ID %d resolves to %v, want %v", id, in.PointOf(id), pts[i])
+		}
+	}
+	// Re-interning the same shape is a no-op (same IDs, no growth).
+	again := Intern(in, pts)
+	for i := range ids {
+		if again[i] != ids[i] {
+			t.Fatalf("re-intern changed ID %d: %d -> %d", i, ids[i], again[i])
+		}
+	}
+	if in.Len() != len(pts) {
+		t.Fatalf("re-intern grew the universe to %d", in.Len())
+	}
+}
+
 func TestBoundingTorus(t *testing.T) {
 	pts := []space.Point{{3, 8}, {7, 2}}
 	tor := BoundingTorus(pts, 1)
@@ -187,8 +212,10 @@ type shapeSystem struct {
 
 func (s shapeSystem) Space() space.Space                 { return s.tor }
 func (s shapeSystem) Live() []sim.NodeID                 { return s.e.LiveIDs() }
+func (s shapeSystem) Alive(id sim.NodeID) bool           { return s.e.Alive(id) }
 func (s shapeSystem) Position(id sim.NodeID) space.Point { return s.poly.Position(id) }
 func (s shapeSystem) Guests(id sim.NodeID) []space.Point { return s.poly.Guests(id) }
+func (s shapeSystem) NumGuests(id sim.NodeID) int        { return s.poly.NumGuests(id) }
 func (s shapeSystem) NumGhosts(id sim.NodeID) int        { return s.poly.NumGhosts(id) }
 func (s shapeSystem) Neighbors(id sim.NodeID, k int) []sim.NodeID {
 	return s.tm.Neighbors(id, k)

@@ -171,10 +171,18 @@ func (e *Engine) KillAll(ids []NodeID) {
 // returned slice is a fresh copy the caller may retain or mutate; its cost
 // scales with the number of survivors, not with every node ever created.
 func (e *Engine) LiveIDs() []NodeID {
-	ids := make([]NodeID, len(e.live))
-	copy(ids, e.live)
-	slices.Sort(ids)
-	return ids
+	return e.AppendLiveIDs(make([]NodeID, 0, len(e.live)))
+}
+
+// AppendLiveIDs appends the IDs of all live nodes in ascending order to
+// dst and returns the extended slice — the allocation-free variant of
+// LiveIDs for callers that sweep the population every round with a
+// reusable buffer. Only the appended region is sorted.
+func (e *Engine) AppendLiveIDs(dst []NodeID) []NodeID {
+	n := len(dst)
+	dst = append(dst, e.live...)
+	slices.Sort(dst[n:])
+	return dst
 }
 
 // RandomLive returns a uniformly random live node, or None when the system

@@ -1,0 +1,137 @@
+package space
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func TestInternerAssignsDenseIDs(t *testing.T) {
+	in := NewInterner()
+	pts := TorusGrid(4, 3, 1)
+	ids := in.InternAll(pts)
+	if in.Len() != len(pts) {
+		t.Fatalf("Len = %d, want %d", in.Len(), len(pts))
+	}
+	for i, id := range ids {
+		if id != PointID(i) {
+			t.Fatalf("id[%d] = %d, want dense assignment in intern order", i, id)
+		}
+		if !in.PointOf(id).Equal(pts[i]) {
+			t.Fatalf("PointOf(%d) = %v, want %v", id, in.PointOf(id), pts[i])
+		}
+	}
+}
+
+func TestInternerIdempotent(t *testing.T) {
+	in := NewInterner()
+	a := Point{1, 2}
+	id := in.Intern(a)
+	if got := in.Intern(Point{1, 2}); got != id {
+		t.Fatalf("re-interning equal point gave %d, want %d", got, id)
+	}
+	if in.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate intern", in.Len())
+	}
+	got, ok := in.Lookup(Point{1, 2})
+	if !ok || got != id {
+		t.Fatalf("Lookup = (%d, %v), want (%d, true)", got, ok, id)
+	}
+	if _, ok := in.Lookup(Point{2, 1}); ok {
+		t.Fatal("Lookup found a point that was never interned")
+	}
+}
+
+func TestInternerDistinguishesDimensions(t *testing.T) {
+	// {1} and {1, 0} have different keys even though one prefixes the
+	// other's coordinates.
+	in := NewInterner()
+	a := in.Intern(Point{1})
+	b := in.Intern(Point{1, 0})
+	if a == b {
+		t.Fatal("points of different dimension interned to one ID")
+	}
+}
+
+func TestInternerRetainsPoint(t *testing.T) {
+	in := NewInterner()
+	p := Point{3, 4}
+	id := in.Intern(p)
+	if &in.PointOf(id)[0] != &p[0] {
+		t.Fatal("Intern should retain the point, not clone it")
+	}
+}
+
+// FuzzInterner checks the round-trip laws on fuzzer-built point sets:
+// Intern is idempotent and injective on distinct points, PointOf inverts
+// Intern, Lookup agrees with Intern, and Len counts distinct points.
+func FuzzInterner(f *testing.F) {
+	f.Add([]byte{}, uint8(2))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 8, 7, 6, 5, 4, 3, 2, 1}, uint8(1))
+	f.Add(func() []byte {
+		var b []byte
+		for _, v := range []float64{0, 1, 1, 0, math.Pi, 0, 1} {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+		return b
+	}(), uint8(3))
+	f.Fuzz(func(t *testing.T, raw []byte, dimRaw uint8) {
+		dim := 1 + int(dimRaw)%3
+		var pts []Point
+		for len(raw) >= 8*dim {
+			p := make(Point, dim)
+			valid := true
+			for d := range p {
+				c := math.Float64frombits(binary.LittleEndian.Uint64(raw[8*d:]))
+				if math.IsNaN(c) {
+					valid = false // NaN != NaN: not a canonical coordinate
+				}
+				p[d] = c
+			}
+			raw = raw[8*dim:]
+			if valid {
+				pts = append(pts, p)
+			}
+		}
+
+		in := NewInterner()
+		ids := in.InternAll(pts)
+		distinct := map[string]PointID{}
+		for i, p := range pts {
+			// Idempotence and Lookup agreement.
+			if again := in.Intern(p); again != ids[i] {
+				t.Fatalf("re-intern of %v: %d then %d", p, ids[i], again)
+			}
+			if got, ok := in.Lookup(p); !ok || got != ids[i] {
+				t.Fatalf("Lookup(%v) = (%d, %v), want (%d, true)", p, got, ok, ids[i])
+			}
+			// Round trip through PointOf.
+			if got := in.PointOf(ids[i]); !got.Equal(p) {
+				t.Fatalf("PointOf(Intern(%v)) = %v", p, got)
+			}
+			// Injective on distinct points, constant on equal ones.
+			k := p.Key()
+			if prev, seen := distinct[k]; seen {
+				if prev != ids[i] {
+					t.Fatalf("equal points %v interned to %d and %d", p, prev, ids[i])
+				}
+			} else {
+				for k2, id2 := range distinct {
+					if id2 == ids[i] {
+						t.Fatalf("distinct points share ID %d (%q vs %q)", ids[i], k2, k)
+					}
+				}
+				distinct[k] = ids[i]
+			}
+		}
+		if in.Len() != len(distinct) {
+			t.Fatalf("Len = %d, want %d distinct points", in.Len(), len(distinct))
+		}
+		// Dense ID space: every ID below Len resolves.
+		for id := 0; id < in.Len(); id++ {
+			if in.PointOf(PointID(id)) == nil {
+				t.Fatalf("dense ID %d has no point", id)
+			}
+		}
+	})
+}

@@ -8,6 +8,17 @@
 // interface and several implementations, including the modular 2D torus
 // used throughout the paper's evaluation, in which scalar division is ill
 // defined and the medoid must be used instead of the centroid (Sec. III-C).
+//
+// # Point identity and interning
+//
+// Data points originate from a fixed generator and are never
+// arithmetically perturbed afterwards, so identity is exact coordinate
+// equality (Point.Equal) and the whole point universe can be interned once
+// into dense integer PointIDs (see Interner). The ID-keyed protocol and
+// metric layers depend on three invariants: points entering an interner
+// are canonical (wrap modular coordinates first — e.g. Torus.Wrap — so
+// bitwise equality is identity), every point is interned before its ID is
+// used anywhere, and interned points are immutable.
 package space
 
 import (

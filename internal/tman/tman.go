@@ -32,6 +32,7 @@ package tman
 import (
 	"fmt"
 
+	"polystyrene/internal/genset"
 	"polystyrene/internal/rps"
 	"polystyrene/internal/sim"
 	"polystyrene/internal/space"
@@ -109,10 +110,8 @@ type Protocol struct {
 	sel topk.Scratch[sim.NodeID]
 	// candBuf assembles the owner+view candidate set for buildBuffer.
 	candBuf []sim.NodeID
-	// stamp/gen implement an O(1) reusable membership set over dense
-	// NodeIDs (stamp[id] == gen means "present this generation").
-	stamp []uint32
-	gen   uint32
+	// seen is the pooled membership set over dense NodeIDs used by merges.
+	seen genset.Set
 }
 
 var _ sim.Protocol = (*Protocol)(nil)
@@ -229,14 +228,14 @@ func (p *Protocol) closestTo(cand []sim.NodeID, target space.Point, k int) []sim
 // entries closest to owner's position, up to the view cap.
 func (p *Protocol) merge(e *sim.Engine, owner sim.NodeID, received []sim.NodeID) {
 	view := p.views[owner]
-	gen := p.nextGen(e)
-	p.stamp[owner] = gen
+	stamp, gen := p.seen.Next(e.NumNodes())
+	stamp[owner] = gen
 	for _, v := range view {
-		p.stamp[v] = gen
+		stamp[v] = gen
 	}
 	for _, r := range received {
-		if p.stamp[r] != gen && e.Alive(r) {
-			p.stamp[r] = gen
+		if stamp[r] != gen && e.Alive(r) {
+			stamp[r] = gen
 			view = append(view, r)
 		}
 	}
@@ -244,24 +243,6 @@ func (p *Protocol) merge(e *sim.Engine, owner sim.NodeID, received []sim.NodeID)
 		view = p.closestTo(view, p.pos(owner), p.cfg.ViewCap)
 	}
 	p.views[owner] = view
-}
-
-// nextGen advances the membership-set generation and sizes the stamp
-// array to the engine's node count.
-func (p *Protocol) nextGen(e *sim.Engine) uint32 {
-	if n := e.NumNodes(); len(p.stamp) < n {
-		grown := make([]uint32, n)
-		copy(grown, p.stamp)
-		p.stamp = grown
-	}
-	p.gen++
-	if p.gen == 0 { // wrapped: stale stamps could collide, reset them
-		for i := range p.stamp {
-			p.stamp[i] = 0
-		}
-		p.gen = 1
-	}
-	return p.gen
 }
 
 // purgeDead removes crashed nodes from id's view; if the view empties out

@@ -145,6 +145,10 @@ type System struct {
 	tman    *tman.Protocol
 	poly    *core.Protocol // nil when Baseline
 	shape   []space.Point
+	// interner/shapeIDs carry the shape points' dense interned identities,
+	// shared with the Polystyrene layer so metrics read its holders index.
+	interner *space.Interner
+	shapeIDs []space.PointID
 
 	// fixedPos pins positions of baseline nodes added after start.
 	fixedPos map[sim.NodeID]space.Point
@@ -178,6 +182,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		cfg:      cfg,
 		space:    spc,
 		sampler:  rps.New(rps.Config{}),
+		interner: space.NewInterner(),
 		fixedPos: make(map[sim.NodeID]space.Point),
 	}
 	sys.shape = make([]space.Point, len(cfg.Shape))
@@ -188,6 +193,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		}
 		sys.shape[i] = space.Point(p).Clone()
 	}
+	sys.shapeIDs = sys.interner.InternAll(sys.shape)
 
 	tm, err := tman.New(tman.Config{
 		Space:    spc,
@@ -210,6 +216,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 			Topology:     tm,
 			Sampler:      sys.sampler,
 			Detector:     det,
+			Interner:     sys.interner,
 			K:            cfg.ReplicationFactor,
 			Split:        splitKind,
 			InitialPoint: sys.initialPoint,
@@ -352,12 +359,19 @@ type metricsView struct{ s *System }
 
 func (v metricsView) Space() space.Space                 { return v.s.space }
 func (v metricsView) Live() []sim.NodeID                 { return v.s.engine.LiveIDs() }
+func (v metricsView) Alive(id sim.NodeID) bool           { return v.s.engine.Alive(id) }
 func (v metricsView) Position(id sim.NodeID) space.Point { return v.s.position(id) }
 func (v metricsView) Guests(id sim.NodeID) []space.Point {
 	if v.s.poly == nil {
 		return []space.Point{v.s.position(id)}
 	}
 	return v.s.poly.Guests(id)
+}
+func (v metricsView) NumGuests(id sim.NodeID) int {
+	if v.s.poly == nil {
+		return 1
+	}
+	return v.s.poly.NumGuests(id)
 }
 func (v metricsView) NumGhosts(id sim.NodeID) int {
 	if v.s.poly == nil {
@@ -373,6 +387,9 @@ func (v metricsView) Neighbors(id sim.NodeID, k int) []sim.NodeID {
 // distance from each original data point to the nearest node hosting it
 // (Sec. IV-A). Lower is better; see ReferenceHomogeneity for the target.
 func (s *System) Homogeneity() float64 {
+	if s.poly != nil {
+		return metrics.HomogeneityIndexed(metricsView{s}, s.poly, s.shape, s.shapeIDs)
+	}
 	return metrics.Homogeneity(metricsView{s}, s.shape)
 }
 
@@ -396,6 +413,9 @@ func (s *System) Proximity() float64 {
 // Reliability returns the fraction of the original data points still
 // hosted by a live node.
 func (s *System) Reliability() float64 {
+	if s.poly != nil {
+		return metrics.ReliabilityIndexed(metricsView{s}, s.poly, s.shapeIDs)
+	}
 	return metrics.Reliability(metricsView{s}, s.shape)
 }
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates the tracked bench-trajectory snapshot (BENCH_2.json onward):
+# runs the per-round hot-path micro-benchmarks (migrate round, metrics
+# round — each with its string-keyed baseline variant) plus the headline
+# Fig. 10a scalability bench, and converts the `go test -json` stream into
+# a stable JSON document via scripts/benchjson.
+#
+# Usage: scripts/bench.sh [output.json] [benchtime]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_2.json}"
+benchtime="${2:-5x}"
+
+go test -json -run '^$' \
+  -bench 'BenchmarkMigrateRound|BenchmarkMetricsRound|BenchmarkFig10aScalability' \
+  -benchmem -benchtime "$benchtime" -timeout 30m \
+  . ./internal/core/ ./internal/scenario/ |
+  go run ./scripts/benchjson > "$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmark records)" >&2

@@ -1,0 +1,135 @@
+// Command benchjson converts a `go test -json -bench ...` event stream
+// (stdin) into a stable BENCH_*.json document (stdout): one record per
+// benchmark result line, with the standard ns/op, B/op and allocs/op
+// fields plus any custom b.ReportMetric units. scripts/bench.sh wires it
+// to the tracked benchmark set so the repo's bench trajectory
+// (BENCH_2.json onward) is regenerated with one command.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of the test2json schema we consume.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// result is one parsed benchmark line.
+type result struct {
+	Package string             `json:"package"`
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iterations"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var results []result
+	// The test binary prints a benchmark's name first and its result
+	// fields once it finishes, so test2json usually delivers them as two
+	// separate output events; pending holds the name until its fields
+	// arrive.
+	pending := make(map[string]string)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue // tolerate plain-text noise
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		out := strings.TrimSpace(ev.Output)
+		if strings.HasPrefix(out, "Benchmark") {
+			if r, ok := parseBenchLine(ev.Package, out); ok {
+				results = append(results, r)
+				delete(pending, ev.Package)
+			} else if !strings.ContainsAny(out, " \t") {
+				pending[ev.Package] = out
+			}
+			continue
+		}
+		if name := pending[ev.Package]; name != "" {
+			if r, ok := parseBenchLine(ev.Package, name+"\t"+out); ok {
+				results = append(results, r)
+			}
+			delete(pending, ev.Package)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Package != results[j].Package {
+			return results[i].Package < results[j].Package
+		}
+		return results[i].Name < results[j].Name
+	})
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses the classic benchmark output format,
+//
+//	BenchmarkName-8   123   456.7 ns/op   89 B/op   10 allocs/op   1.5 custom_unit
+//
+// returning ok=false for anything else.
+func parseBenchLine(pkg, line string) (result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return result{}, false
+	}
+	fields := strings.Fields(line)
+	// Name, iteration count, then (value, unit) pairs.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{
+		Package: pkg,
+		Name:    trimMaxProcs(fields[0]),
+		Iters:   iters,
+		Metrics: make(map[string]float64, (len(fields)-2)/2),
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}
+
+// trimMaxProcs drops the trailing -N GOMAXPROCS decoration of a benchmark
+// name, so records compare across machines.
+func trimMaxProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
