@@ -52,7 +52,7 @@ func BenchmarkMigrateRound(b *testing.B) {
 	b.Run("stringkeyed", func(b *testing.B) {
 		st := benchStack(b, 42)
 		ids := st.engine.LiveIDs()
-		bl := newStringKeyedBaseline(st.poly)
+		bl := newStringKeyedBaseline(st.poly, st.tman)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -73,13 +73,24 @@ func BenchmarkMigrateRound(b *testing.B) {
 // exclusively through it stays internally consistent for benchmarking.
 type stringKeyedBaseline struct {
 	p *Protocol
+	// topo is the legacy allocating neighbour query (the pre-redesign
+	// Topology contract), resolved from the concrete overlay since the
+	// interface now only carries the append/visitor forms.
+	topo interface {
+		Neighbors(id sim.NodeID, k int) []sim.NodeID
+	}
 	// pushed mirrors the old per-backup pushed-key cache:
 	// node → backup target → key set of the last push.
 	pushed map[sim.NodeID]map[sim.NodeID]map[string]bool
 }
 
-func newStringKeyedBaseline(p *Protocol) *stringKeyedBaseline {
-	return &stringKeyedBaseline{p: p, pushed: make(map[sim.NodeID]map[sim.NodeID]map[string]bool)}
+func newStringKeyedBaseline(p *Protocol, topo interface {
+	Neighbors(id sim.NodeID, k int) []sim.NodeID
+}) *stringKeyedBaseline {
+	return &stringKeyedBaseline{
+		p: p, topo: topo,
+		pushed: make(map[sim.NodeID]map[sim.NodeID]map[string]bool),
+	}
 }
 
 func (bl *stringKeyedBaseline) step(e *sim.Engine, id sim.NodeID) {
@@ -189,7 +200,7 @@ func (bl *stringKeyedBaseline) pickBackupTargets(e *sim.Engine, id sim.NodeID, n
 
 func (bl *stringKeyedBaseline) migrate(e *sim.Engine, id sim.NodeID) {
 	p := bl.p
-	candidates := p.cfg.Topology.Neighbors(id, p.cfg.Psi)
+	candidates := bl.topo.Neighbors(id, p.cfg.Psi)
 	if r := p.cfg.Sampler.RandomPeer(e, id); r != sim.None && r != id {
 		dup := false
 		for _, c := range candidates {

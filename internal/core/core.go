@@ -54,8 +54,30 @@ import (
 // neighbours. Both T-Man and Vicinity satisfy it — the paper presents
 // Polystyrene as "an add-on layer that can be plugged into any
 // decentralized topology construction algorithm" (Sec. II-C).
+//
+// The overlay is queried constantly — backup placement (Sec. III-D), the
+// migration candidate window (Sec. III-F) and every per-round metric ask
+// "who are node n's k closest peers" — so the contract is allocation-free
+// in both of its forms:
+//
+//   - AppendNeighbors appends the up-to-k closest neighbours of id to dst,
+//     ordered by increasing distance, and returns the extended slice. The
+//     caller owns (and typically pools) the buffer; implementations run
+//     their selection on internal scratch and must not retain dst.
+//   - EachNeighbor visits the same sequence without materialising it,
+//     calling yield in increasing distance order and stopping early when
+//     yield returns false. Implementations may iterate over internal
+//     scratch, so yield must not call back into the topology; reading
+//     positions or liveness from other layers is fine.
+//
+// Both forms must agree exactly (same neighbours, same order) for a given
+// overlay state, and implementations are expected to answer out-of-range
+// ids and k <= 0 as empty queries. Concrete providers additionally keep a
+// legacy Neighbors(id, k) convenience that allocates a fresh slice per
+// call; it is deliberately not part of this interface.
 type Topology interface {
-	Neighbors(id sim.NodeID, k int) []sim.NodeID
+	AppendNeighbors(dst []sim.NodeID, id sim.NodeID, k int) []sim.NodeID
+	EachNeighbor(id sim.NodeID, k int, yield func(sim.NodeID) bool)
 }
 
 // Defaults from the paper's experimental setting (Sec. IV-A).
@@ -208,12 +230,14 @@ type Protocol struct {
 	// Pooled scratch (the engine is sequential, so per-instance reuse is
 	// safe). pset/nset are generation-stamped membership sets over dense
 	// PointIDs and NodeIDs respectively; mergedPts/IDs is the migration
-	// union buffer; failedBuf backs recover's sorted origin list.
+	// union buffer; failedBuf backs recover's sorted origin list; nbrBuf
+	// backs the AppendNeighbors queries of migration and backup placement.
 	pset      genset.Set
 	nset      genset.Set
 	mergedPts []space.Point
 	mergedIDs []space.PointID
 	failedBuf []sim.NodeID
+	nbrBuf    []sim.NodeID
 }
 
 var _ sim.Protocol = (*Protocol)(nil)
@@ -439,7 +463,8 @@ func (p *Protocol) pickBackupTargets(e *sim.Engine, id sim.NodeID, n int) {
 	var candidates []sim.NodeID
 	switch p.cfg.Placement {
 	case PlaceNeighbors:
-		candidates = p.cfg.Topology.Neighbors(id, n+len(st.backups)+1)
+		candidates = p.cfg.Topology.AppendNeighbors(p.nbrBuf[:0], id, n+len(st.backups)+1)
+		p.nbrBuf = candidates
 	default:
 		candidates = p.cfg.Sampler.RandomPeers(e, id, n+len(st.backups)+1)
 	}
@@ -471,8 +496,11 @@ func (p *Protocol) pickBackupTargets(e *sim.Engine, id sim.NodeID, n int) {
 
 // migrate performs the pair-wise pull-push exchange of guest points with a
 // partner drawn from the ψ closest T-Man neighbours plus one random peer.
+// The candidate window lands in pooled scratch, so the Psi-scan performs
+// no allocations.
 func (p *Protocol) migrate(e *sim.Engine, id sim.NodeID) {
-	candidates := p.cfg.Topology.Neighbors(id, p.cfg.Psi)
+	candidates := p.cfg.Topology.AppendNeighbors(p.nbrBuf[:0], id, p.cfg.Psi)
+	p.nbrBuf = candidates
 	if r := p.cfg.Sampler.RandomPeer(e, id); r != sim.None && r != id {
 		dup := false
 		for _, c := range candidates {
@@ -483,6 +511,7 @@ func (p *Protocol) migrate(e *sim.Engine, id sim.NodeID) {
 		}
 		if !dup {
 			candidates = append(candidates, r)
+			p.nbrBuf = candidates
 		}
 	}
 	// Neighbours can be stale for one round after a crash event.

@@ -44,8 +44,12 @@ type System interface {
 	NumGuests(id sim.NodeID) int
 	// NumGhosts returns the number of inactive replica points at a node.
 	NumGhosts(id sim.NodeID) int
-	// Neighbors returns the k closest overlay neighbours of a node.
-	Neighbors(id sim.NodeID, k int) []sim.NodeID
+	// EachNeighbor visits the k closest overlay neighbours of a node in
+	// increasing distance order, stopping early when yield returns false —
+	// the zero-copy form of core.Topology, which keeps the per-round
+	// metric loop allocation-free. yield must not call back into the
+	// underlying topology.
+	EachNeighbor(id sim.NodeID, k int, yield func(sim.NodeID) bool)
 }
 
 // HolderIndex is an incrementally maintained guests⁻¹ view: for an
@@ -64,12 +68,17 @@ type HolderIndex interface {
 func Proximity(sys System, k int) float64 {
 	s := sys.Space()
 	sum, count := 0.0, 0
+	// One visitor closure serves every node (its captured variables are
+	// hoisted), so the whole sweep performs no per-node allocations.
+	var pos space.Point
+	visit := func(nb sim.NodeID) bool {
+		sum += s.Distance(pos, sys.Position(nb))
+		count++
+		return true
+	}
 	for _, id := range sys.Live() {
-		pos := sys.Position(id)
-		for _, nb := range sys.Neighbors(id, k) {
-			sum += s.Distance(pos, sys.Position(nb))
-			count++
-		}
+		pos = sys.Position(id)
+		sys.EachNeighbor(id, k, visit)
 	}
 	if count == 0 {
 		return 0

@@ -32,12 +32,16 @@ func (f *fakeSystem) Position(id sim.NodeID) space.Point { return f.positions[id
 func (f *fakeSystem) Guests(id sim.NodeID) []space.Point { return f.guests[id] }
 func (f *fakeSystem) NumGuests(id sim.NodeID) int        { return len(f.guests[id]) }
 func (f *fakeSystem) NumGhosts(id sim.NodeID) int        { return f.ghosts[id] }
-func (f *fakeSystem) Neighbors(id sim.NodeID, k int) []sim.NodeID {
+func (f *fakeSystem) EachNeighbor(id sim.NodeID, k int, yield func(sim.NodeID) bool) {
 	nbs := f.neighbors[id]
 	if k < len(nbs) {
-		return nbs[:k]
+		nbs = nbs[:k]
 	}
-	return nbs
+	for _, nb := range nbs {
+		if !yield(nb) {
+			return
+		}
+	}
 }
 
 func line3() *fakeSystem {

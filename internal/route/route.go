@@ -78,41 +78,78 @@ func (r *Router) Route(e *sim.Engine, from sim.NodeID, target space.Point) (Resu
 		maxHops = DefaultMaxHops
 	}
 
-	current := from
-	currentDist := r.Space.Distance(r.Position(current), target)
-	path := []sim.NodeID{current}
-
-	for hop := 0; hop < maxHops; hop++ {
-		next := sim.None
-		nextDist := currentDist
-		for _, nb := range r.Topology.Neighbors(current, fanout) {
-			if !e.Alive(nb) {
-				continue
-			}
-			if d := r.Space.Distance(r.Position(nb), target); d < nextDist {
-				next, nextDist = nb, d
-			}
-		}
-		if next == sim.None {
-			// Local minimum: nobody closer — greedy delivery point.
-			return Result{
-				Path:          path,
-				Dest:          current,
-				Hops:          len(path) - 1,
-				FinalDistance: currentDist,
-				Converged:     true,
-			}, nil
-		}
-		current, currentDist = next, nextDist
-		path = append(path, current)
-	}
+	path := []sim.NodeID{from}
+	current, currentDist, converged := r.descend(e, from, target, fanout, maxHops,
+		func(hop sim.NodeID) { path = append(path, hop) })
 	return Result{
 		Path:          path,
 		Dest:          current,
 		Hops:          len(path) - 1,
 		FinalDistance: currentDist,
-		Converged:     false,
+		Converged:     converged,
 	}, nil
+}
+
+// Descend greedily walks from the given live node towards the target and
+// returns the delivery node — the local minimum none of whose neighbours
+// is closer to the target — together with its distance to the target and
+// whether the walk terminated within the hop budget. It is Route without
+// the path record: nothing is retained, so a descent performs only the
+// visitor-closure allocation. This is the primitive point lookups build
+// on.
+func (r *Router) Descend(e *sim.Engine, from sim.NodeID, target space.Point) (sim.NodeID, float64, error) {
+	if !e.Alive(from) {
+		return sim.None, 0, fmt.Errorf("route: source node %d is not alive", from)
+	}
+	fanout := r.Fanout
+	if fanout <= 0 {
+		fanout = DefaultFanout
+	}
+	maxHops := r.MaxHops
+	if maxHops <= 0 {
+		maxHops = DefaultMaxHops
+	}
+	dest, d, converged := r.descend(e, from, target, fanout, maxHops, nil)
+	if !converged {
+		return dest, d, fmt.Errorf("route: descent from %d truncated after %d hops", from, maxHops)
+	}
+	return dest, d, nil
+}
+
+// descend is the shared greedy walk: at every hop the fanout closest
+// overlay neighbours are visited through the topology's zero-copy
+// EachNeighbor form, and the message moves to whichever is closest to the
+// target. onHop, when non-nil, observes each node the walk moves to.
+func (r *Router) descend(e *sim.Engine, from sim.NodeID, target space.Point,
+	fanout, maxHops int, onHop func(sim.NodeID)) (dest sim.NodeID, dist float64, converged bool) {
+
+	current := from
+	currentDist := r.Space.Distance(r.Position(current), target)
+	// The visitor closure is hoisted out of the hop loop; next/nextDist
+	// carry the per-hop argmin across calls.
+	next := sim.None
+	nextDist := currentDist
+	visit := func(nb sim.NodeID) bool {
+		if e.Alive(nb) {
+			if d := r.Space.Distance(r.Position(nb), target); d < nextDist {
+				next, nextDist = nb, d
+			}
+		}
+		return true
+	}
+	for hop := 0; hop < maxHops; hop++ {
+		next, nextDist = sim.None, currentDist
+		r.Topology.EachNeighbor(current, fanout, visit)
+		if next == sim.None {
+			// Local minimum: nobody closer — greedy delivery point.
+			return current, currentDist, true
+		}
+		current, currentDist = next, nextDist
+		if onHop != nil {
+			onHop(current)
+		}
+	}
+	return current, currentDist, false
 }
 
 // Probe routes from a fixed source to every target and aggregates quality:

@@ -147,3 +147,38 @@ func TestProbeStats(t *testing.T) {
 		t.Fatal("empty stats not zero")
 	}
 }
+
+// TestDescendMatchesRoute pins the path-free descent to the full Route:
+// same delivery node and final distance, across several targets and both
+// stack configurations.
+func TestDescendMatchesRoute(t *testing.T) {
+	for _, poly := range []bool{true, false} {
+		sc, r := converged(t, 8, poly)
+		for _, target := range []space.Point{{1, 1}, {10, 5}, {19, 9}, {7.3, 2.8}} {
+			res, err := r.Route(sc.Engine, 0, target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dest, d, err := r.Descend(sc.Engine, 0, target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dest != res.Dest || d != res.FinalDistance {
+				t.Fatalf("poly=%v target %v: Descend = (%d, %v), Route = (%d, %v)",
+					poly, target, dest, d, res.Dest, res.FinalDistance)
+			}
+		}
+	}
+}
+
+func TestDescendErrors(t *testing.T) {
+	sc, r := converged(t, 9, true)
+	sc.Engine.Kill(3)
+	if _, _, err := r.Descend(sc.Engine, 3, space.Point{1, 1}); err == nil {
+		t.Fatal("descent from a dead node succeeded")
+	}
+	r.MaxHops = 1
+	if _, _, err := r.Descend(sc.Engine, 0, space.Point{10, 5}); err == nil {
+		t.Fatal("1-hop budget should truncate a cross-torus descent with an error")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"polystyrene/internal/metrics"
+	"polystyrene/internal/sim"
 )
 
 // BenchmarkMetricsRound measures one full per-round metrics sweep
@@ -46,6 +47,62 @@ func BenchmarkMetricsRound(b *testing.B) {
 			sink += metrics.Reliability(sys, sc.Points)
 			sink += metrics.Proximity(sys, sc.Cfg.NeighborK)
 			sink += metrics.DataPointsPerNode(sys)
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkProximityRound isolates the neighbour-query cost of the
+// per-round metric loop: the proximity sweep asks every live node for its
+// 4 closest overlay neighbours. The "each" variant is the production
+// path (metrics.Proximity over the zero-copy EachNeighbor visitor); the
+// "legacy" variant replays the PR 2 implementation, one fresh result
+// slice per node per round. Both are recorded in the tracked
+// BENCH_*.json.
+func BenchmarkProximityRound(b *testing.B) {
+	mkScenario := func() *Scenario {
+		sc := MustNew(Config{Seed: 21, W: 40, H: 20, Polystyrene: true, K: 4, SkipMetrics: true})
+		sc.Run(20)
+		sc.FailRightHalf()
+		sc.Run(10)
+		return sc
+	}
+	b.Run("each", func(b *testing.B) {
+		sc := mkScenario()
+		sys := sc.System()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += metrics.Proximity(sys, sc.Cfg.NeighborK)
+		}
+		_ = sink
+	})
+	b.Run("legacy", func(b *testing.B) {
+		sc := mkScenario()
+		sys := sc.System()
+		legacy, ok := sc.Topology().(interface {
+			Neighbors(id sim.NodeID, k int) []sim.NodeID
+		})
+		if !ok {
+			b.Fatal("overlay does not expose the legacy Neighbors form")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			s := sys.Space()
+			sum, count := 0.0, 0
+			for _, id := range sys.Live() {
+				pos := sys.Position(id)
+				for _, nb := range legacy.Neighbors(id, sc.Cfg.NeighborK) {
+					sum += s.Distance(pos, sys.Position(nb))
+					count++
+				}
+			}
+			if count > 0 {
+				sink += sum / float64(count)
+			}
 		}
 		_ = sink
 	})

@@ -237,7 +237,9 @@ func SizeSweep(base Config, sizes []GridSize, variants map[string]func(Config) C
 	return out, nil
 }
 
-// NodeSnapshot is the rendered state of one node (Figs. 1, 8, 9).
+// NodeSnapshot is the rendered state of one node (Figs. 1, 8, 9). The
+// Neighbors slices of one Snapshot call share a single backing array —
+// read them freely (as the viz renderers do), but do not append to them.
 type NodeSnapshot struct {
 	ID        sim.NodeID
 	Pos       space.Point
@@ -245,15 +247,21 @@ type NodeSnapshot struct {
 }
 
 // Snapshot captures every live node's position and its NeighborK closest
-// overlay neighbours for rendering.
+// overlay neighbours for rendering. All neighbour lists append into one
+// exact-capacity backing array (at most NeighborK entries per live node),
+// so a snapshot costs two allocations plus the cloned positions instead
+// of one slice per node.
 func (sc *Scenario) Snapshot() []NodeSnapshot {
 	live := sc.Engine.LiveIDs()
 	out := make([]NodeSnapshot, 0, len(live))
+	nbrs := make([]sim.NodeID, 0, len(live)*sc.Cfg.NeighborK)
 	for _, id := range live {
+		start := len(nbrs)
+		nbrs = sc.topo.AppendNeighbors(nbrs, id, sc.Cfg.NeighborK)
 		out = append(out, NodeSnapshot{
 			ID:        id,
 			Pos:       sc.position(id).Clone(),
-			Neighbors: sc.topo.Neighbors(id, sc.Cfg.NeighborK),
+			Neighbors: nbrs[start:len(nbrs):len(nbrs)],
 		})
 	}
 	return out

@@ -363,8 +363,8 @@ func (s *polySystem) Guests(id sim.NodeID) []space.Point {
 }
 func (s *polySystem) NumGuests(id sim.NodeID) int { return s.sc.poly.NumGuests(id) }
 func (s *polySystem) NumGhosts(id sim.NodeID) int { return s.sc.poly.NumGhosts(id) }
-func (s *polySystem) Neighbors(id sim.NodeID, k int) []sim.NodeID {
-	return s.sc.topo.Neighbors(id, k)
+func (s *polySystem) EachNeighbor(id sim.NodeID, k int, yield func(sim.NodeID) bool) {
+	s.sc.topo.EachNeighbor(id, k, yield)
 }
 
 // tmanSystem adapts the baseline: a node's single "guest" is its fixed
@@ -389,6 +389,6 @@ func (s *tmanSystem) Guests(id sim.NodeID) []space.Point {
 }
 func (s *tmanSystem) NumGuests(sim.NodeID) int { return 1 }
 func (s *tmanSystem) NumGhosts(sim.NodeID) int { return 0 }
-func (s *tmanSystem) Neighbors(id sim.NodeID, k int) []sim.NodeID {
-	return s.sc.topo.Neighbors(id, k)
+func (s *tmanSystem) EachNeighbor(id sim.NodeID, k int, yield func(sim.NodeID) bool) {
+	s.sc.topo.EachNeighbor(id, k, yield)
 }

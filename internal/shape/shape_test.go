@@ -217,6 +217,6 @@ func (s shapeSystem) Position(id sim.NodeID) space.Point { return s.poly.Positio
 func (s shapeSystem) Guests(id sim.NodeID) []space.Point { return s.poly.Guests(id) }
 func (s shapeSystem) NumGuests(id sim.NodeID) int        { return s.poly.NumGuests(id) }
 func (s shapeSystem) NumGhosts(id sim.NodeID) int        { return s.poly.NumGhosts(id) }
-func (s shapeSystem) Neighbors(id sim.NodeID, k int) []sim.NodeID {
-	return s.tm.Neighbors(id, k)
+func (s shapeSystem) EachNeighbor(id sim.NodeID, k int, yield func(sim.NodeID) bool) {
+	s.tm.EachNeighbor(id, k, yield)
 }

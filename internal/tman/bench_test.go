@@ -41,16 +41,51 @@ func BenchmarkGossipRound(b *testing.B) {
 	}
 }
 
-// BenchmarkNeighbors measures the closest-k query consumed by partner
-// selection, Polystyrene migration, and the proximity metric.
-func BenchmarkNeighbors(b *testing.B) {
-	e, tm := benchNet(b, 40, 20)
-	e.RunRounds(10)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if len(tm.Neighbors(0, 5)) == 0 {
-			b.Fatal("no neighbours")
+// BenchmarkNeighborsQuery measures the closest-k query consumed by
+// partner selection, Polystyrene migration, and the proximity metric, in
+// its three forms: the legacy fresh-slice Neighbors (the PR 2 API,
+// kept as the baseline), the caller-buffer AppendNeighbors and the
+// visitor EachNeighbor. The sweep queries every live node, the shape of
+// the per-round metric loop; the two new forms must report 0 allocs/op.
+func BenchmarkNeighborsQuery(b *testing.B) {
+	bench := func(b *testing.B, query func(tm *Protocol, id sim.NodeID)) {
+		b.Helper()
+		e, tm := benchNet(b, 40, 20)
+		e.RunRounds(10)
+		ids := e.LiveIDs()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, id := range ids {
+				query(tm, id)
+			}
 		}
 	}
+	b.Run("legacy", func(b *testing.B) {
+		bench(b, func(tm *Protocol, id sim.NodeID) {
+			if len(tm.Neighbors(id, 5)) == 0 {
+				b.Fatal("no neighbours")
+			}
+		})
+	})
+	b.Run("append", func(b *testing.B) {
+		buf := make([]sim.NodeID, 0, 8)
+		bench(b, func(tm *Protocol, id sim.NodeID) {
+			buf = tm.AppendNeighbors(buf[:0], id, 5)
+			if len(buf) == 0 {
+				b.Fatal("no neighbours")
+			}
+		})
+	})
+	b.Run("each", func(b *testing.B) {
+		n := 0
+		visit := func(sim.NodeID) bool { n++; return true }
+		bench(b, func(tm *Protocol, id sim.NodeID) {
+			n = 0
+			tm.EachNeighbor(id, 5, visit)
+			if n == 0 {
+				b.Fatal("no neighbours")
+			}
+		})
+	})
 }

@@ -27,6 +27,14 @@
 // instance, and set-membership during merges uses a generation-stamped
 // array indexed by the engine's dense NodeIDs. The engine is sequential,
 // so instance-level scratch is safe.
+//
+// Neighbour queries are exposed through the allocation-free two-form API
+// of core.Topology — AppendNeighbors (caller-owned buffer) and
+// EachNeighbor (zero-copy visitor over the pooled selection scratch) —
+// with the legacy Neighbors form kept as a convenience wrapper. Pooled
+// buffers are trimmed against a decaying high-water mark so the merge
+// wave after a catastrophic failure does not pin worst-case capacity for
+// the rest of a run.
 package tman
 
 import (
@@ -101,17 +109,39 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
-// Protocol is the T-Man layer. It implements sim.Protocol.
+// Pooled-scratch trimming parameters: every scratchTrimInterval steps the
+// protocol compares pooled buffer capacities against scratchTrimSlack
+// times the high-water candidate size of the elapsed window and releases
+// buffers above it. A 50%-failure round balloons merge candidate sets for
+// a few rounds; without the trim those transients would pin worst-case
+// capacity for the remainder of a run.
+const (
+	scratchTrimInterval = 4096
+	scratchTrimSlack    = 2
+)
+
+// Protocol is the T-Man layer. It implements sim.Protocol and
+// core.Topology.
 type Protocol struct {
 	cfg   Config
 	views [][]sim.NodeID
 
 	// sel holds the pooled parallel (distance, id) selection arrays.
 	sel topk.Scratch[sim.NodeID]
-	// candBuf assembles the owner+view candidate set for buildBuffer.
+	// candBuf assembles the owner+view candidate set for buildBuffer and
+	// the partner-selection window.
 	candBuf []sim.NodeID
+	// msgA/msgB are the two in-flight message buffers of Step; both live
+	// across a merge pair, so they need separate backing arrays.
+	msgA []sim.NodeID
+	msgB []sim.NodeID
 	// seen is the pooled membership set over dense NodeIDs used by merges.
 	seen genset.Set
+
+	// hwMark is the largest selection candidate set of the current trim
+	// window; hwSteps counts the steps elapsed in it.
+	hwMark  int
+	hwSteps int
 }
 
 var _ sim.Protocol = (*Protocol)(nil)
@@ -148,6 +178,7 @@ func (p *Protocol) InitNode(e *sim.Engine, id sim.NodeID) {
 
 // Step implements sim.Protocol: one T-Man gossip exchange initiated by id.
 func (p *Protocol) Step(e *sim.Engine, id sim.NodeID) {
+	p.maybeTrimScratch()
 	p.purgeDead(e, id)
 	// Refresh stale coordinates of the whole view: positions move every
 	// round under Polystyrene, and the paper attributes most communication
@@ -161,14 +192,15 @@ func (p *Protocol) Step(e *sim.Engine, id sim.NodeID) {
 	p.purgeDead(e, q)
 
 	// Each side sends the m descriptors most useful to the other, drawn
-	// from its view plus its own fresh descriptor.
-	bufForQ := p.buildBuffer(id, p.pos(q))
-	bufForP := p.buildBuffer(q, p.pos(id))
+	// from its view plus its own fresh descriptor. Both buffers are pooled
+	// on the instance: merge copies what it keeps into the views.
+	p.msgA = p.buildBuffer(p.msgA[:0], id, p.pos(q))
+	p.msgB = p.buildBuffer(p.msgB[:0], q, p.pos(id))
 	descCost := sim.DescriptorCost(p.cfg.Space.Dim())
-	e.Charge((len(bufForQ) + len(bufForP)) * descCost)
+	e.Charge((len(p.msgA) + len(p.msgB)) * descCost)
 
-	p.merge(e, id, bufForP)
-	p.merge(e, q, bufForQ)
+	p.merge(e, id, p.msgB)
+	p.merge(e, q, p.msgA)
 }
 
 func (p *Protocol) pos(id sim.NodeID) space.Point { return p.cfg.Position(id) }
@@ -177,7 +209,7 @@ func (p *Protocol) pos(id sim.NodeID) space.Point { return p.cfg.Position(id) }
 // live view entries, augmented with one random peer from the sampling
 // layer (which guarantees convergence and re-connects isolated nodes).
 func (p *Protocol) selectPartner(e *sim.Engine, id sim.NodeID) sim.NodeID {
-	candidates := p.Neighbors(id, p.cfg.Psi)
+	candidates := p.AppendNeighbors(p.candBuf[:0], id, p.cfg.Psi)
 	if r := p.cfg.Sampler.RandomPeer(e, id); r != sim.None && r != id {
 		dup := false
 		for _, c := range candidates {
@@ -190,28 +222,31 @@ func (p *Protocol) selectPartner(e *sim.Engine, id sim.NodeID) sim.NodeID {
 			candidates = append(candidates, r)
 		}
 	}
+	p.candBuf = candidates
 	if len(candidates) == 0 {
 		return sim.None
 	}
 	return candidates[e.Rand().Intn(len(candidates))]
 }
 
-// buildBuffer selects up to m descriptors from owner's view plus owner
-// itself, ranked by proximity to the receiver's position target.
-func (p *Protocol) buildBuffer(owner sim.NodeID, target space.Point) []sim.NodeID {
+// buildBuffer appends to dst up to m descriptors from owner's view plus
+// owner itself, ranked by proximity to the receiver's position target.
+func (p *Protocol) buildBuffer(dst []sim.NodeID, owner sim.NodeID, target space.Point) []sim.NodeID {
 	view := p.views[owner]
 	cand := append(p.candBuf[:0], owner)
 	cand = append(cand, view...)
 	p.candBuf = cand
-	return p.closestTo(cand, target, p.cfg.MsgSize)
+	return append(dst, p.selectClosest(cand, target, p.cfg.MsgSize)...)
 }
 
-// closestTo returns the up-to-k IDs of cand whose positions are closest to
-// target, ordered by increasing distance (ties toward the lower ID).
-// Distances are evaluated once per candidate; selection is a partial
-// topk pass over pooled scratch, and only the returned slice — which
-// callers retain as views and message buffers — is allocated.
-func (p *Protocol) closestTo(cand []sim.NodeID, target space.Point, k int) []sim.NodeID {
+// selectClosest partially selects the up-to-k IDs of cand whose positions
+// are closest to target, ordered by increasing distance (ties toward the
+// lower ID). Distances are evaluated once per candidate; selection is a
+// topk pass over pooled scratch and the result aliases that scratch: it is
+// only valid until the next selection and must not be retained. Nothing is
+// allocated.
+func (p *Protocol) selectClosest(cand []sim.NodeID, target space.Point, k int) []sim.NodeID {
+	p.noteScratch(len(cand))
 	s := p.cfg.Space
 	dist, ids := p.sel.Get(len(cand))
 	for i, c := range cand {
@@ -219,13 +254,13 @@ func (p *Protocol) closestTo(cand []sim.NodeID, target space.Point, k int) []sim
 		ids[i] = c
 	}
 	k = topk.SmallestK(dist, ids, k)
-	out := make([]sim.NodeID, k)
-	copy(out, ids[:k])
-	return out
+	return ids[:k]
 }
 
 // merge folds received descriptors into owner's view and keeps the
-// entries closest to owner's position, up to the view cap.
+// entries closest to owner's position, up to the view cap. The capped
+// selection writes back into the view's own backing array, so steady-state
+// merges allocate nothing.
 func (p *Protocol) merge(e *sim.Engine, owner sim.NodeID, received []sim.NodeID) {
 	view := p.views[owner]
 	stamp, gen := p.seen.Next(e.NumNodes())
@@ -240,13 +275,17 @@ func (p *Protocol) merge(e *sim.Engine, owner sim.NodeID, received []sim.NodeID)
 		}
 	}
 	if len(view) > p.cfg.ViewCap {
-		view = p.closestTo(view, p.pos(owner), p.cfg.ViewCap)
+		sel := p.selectClosest(view, p.pos(owner), p.cfg.ViewCap)
+		view = view[:copy(view, sel)]
 	}
 	p.views[owner] = view
 }
 
 // purgeDead removes crashed nodes from id's view; if the view empties out
-// it is re-seeded from the sampling layer (healing after failures).
+// it is re-seeded from the sampling layer (healing after failures). A view
+// whose backing array vastly exceeds the surviving entries — the aftermath
+// of a catastrophic failure on a small surviving population — is compacted
+// so dead capacity is not pinned for the rest of the run.
 func (p *Protocol) purgeDead(e *sim.Engine, id sim.NodeID) {
 	view := p.views[id]
 	kept := view[:0]
@@ -255,26 +294,100 @@ func (p *Protocol) purgeDead(e *sim.Engine, id sim.NodeID) {
 			kept = append(kept, v)
 		}
 	}
+	floor := len(kept)
+	if floor < p.cfg.InitDegree {
+		floor = p.cfg.InitDegree
+	}
+	if len(kept) > 0 && cap(kept) > scratchTrimSlack*floor {
+		compact := make([]sim.NodeID, len(kept))
+		copy(compact, kept)
+		kept = compact
+	}
 	p.views[id] = kept
 	if len(kept) == 0 {
 		p.views[id] = p.cfg.Sampler.RandomPeers(e, id, p.cfg.InitDegree)
 	}
 }
 
-// Neighbors returns the k closest live view entries of id, ordered by
-// increasing distance to id's current position. This is what the layer
-// above consumes (Polystyrene migration uses ψ, the evaluation metrics
-// use k = 4).
+// noteScratch records a selection candidate size in the trim window's
+// high-water mark.
+func (p *Protocol) noteScratch(n int) {
+	if n > p.hwMark {
+		p.hwMark = n
+	}
+}
+
+// maybeTrimScratch closes a trim window: when the pooled selection and
+// message buffers grew beyond scratchTrimSlack times the window's largest
+// actual use, they are released and reallocated at working size on next
+// use. This bounds the memory a transient worst case (a post-catastrophe
+// merge wave) can pin.
+func (p *Protocol) maybeTrimScratch() {
+	p.hwSteps++
+	if p.hwSteps < scratchTrimInterval {
+		return
+	}
+	limit := scratchTrimSlack * p.hwMark
+	if limit < p.cfg.InitDegree {
+		limit = p.cfg.InitDegree
+	}
+	p.sel.Shrink(limit)
+	if cap(p.candBuf) > limit {
+		p.candBuf = nil
+	}
+	if cap(p.msgA) > limit {
+		p.msgA = nil
+	}
+	if cap(p.msgB) > limit {
+		p.msgB = nil
+	}
+	p.hwMark, p.hwSteps = 0, 0
+}
+
+// AppendNeighbors implements core.Topology: it appends the k closest live
+// view entries of id to dst, ordered by increasing distance to id's
+// current position, and returns the extended slice. With a caller-owned
+// buffer the query is allocation-free; this is what the layers above
+// consume (Polystyrene migration uses ψ, the evaluation metrics k = 4).
+func (p *Protocol) AppendNeighbors(dst []sim.NodeID, id sim.NodeID, k int) []sim.NodeID {
+	if id < 0 || int(id) >= len(p.views) || k <= 0 {
+		return dst
+	}
+	return append(dst, p.selectClosest(p.views[id], p.pos(id), k)...)
+}
+
+// EachNeighbor implements core.Topology: it calls yield for each of the k
+// closest live view entries of id in increasing distance order, stopping
+// early if yield returns false. The iteration runs over the pooled
+// selection scratch, so yield must not call back into this protocol.
+func (p *Protocol) EachNeighbor(id sim.NodeID, k int, yield func(sim.NodeID) bool) {
+	if id < 0 || int(id) >= len(p.views) || k <= 0 {
+		return
+	}
+	for _, nb := range p.selectClosest(p.views[id], p.pos(id), k) {
+		if !yield(nb) {
+			return
+		}
+	}
+}
+
+// Neighbors returns the k closest live view entries of id as a fresh
+// slice, ordered by increasing distance to id's current position — the
+// legacy one-shot form, kept for callers without a reusable buffer.
+// Hot paths use AppendNeighbors or EachNeighbor, which do not allocate.
 func (p *Protocol) Neighbors(id sim.NodeID, k int) []sim.NodeID {
-	if int(id) >= len(p.views) || k <= 0 {
+	if id < 0 || int(id) >= len(p.views) || k <= 0 {
 		return nil
 	}
-	return p.closestTo(p.views[id], p.pos(id), k)
+	sel := p.selectClosest(p.views[id], p.pos(id), k)
+	out := make([]sim.NodeID, len(sel))
+	copy(out, sel)
+	return out
 }
 
 // ViewSize returns the current view size of id (test/metrics helper).
 func (p *Protocol) ViewSize(id sim.NodeID) int {
-	if int(id) >= len(p.views) {
+	if id < 0 || int(id) >= len(p.views) {
 		return 0
 	}
 	return len(p.views[id])
@@ -282,7 +395,7 @@ func (p *Protocol) ViewSize(id sim.NodeID) int {
 
 // View returns a copy of id's raw view.
 func (p *Protocol) View(id sim.NodeID) []sim.NodeID {
-	if int(id) >= len(p.views) {
+	if id < 0 || int(id) >= len(p.views) {
 		return nil
 	}
 	out := make([]sim.NodeID, len(p.views[id]))

@@ -95,7 +95,9 @@ type entry struct {
 //
 // Per-exchange buffers and distance-selection scratch are pooled on the
 // instance (the engine is sequential), so steady-state gossip performs no
-// map operations and allocates only slices that outlive the exchange.
+// map operations and no allocations. Neighbour queries go through the
+// allocation-free AppendNeighbors/EachNeighbor forms of core.Topology;
+// the legacy Neighbors form is kept as a convenience wrapper.
 type Protocol struct {
 	cfg   Config
 	views [][]entry
@@ -107,6 +109,8 @@ type Protocol struct {
 	// merge pair, so they need separate backing arrays.
 	bufA []sim.NodeID
 	bufB []sim.NodeID
+	// keepBuf is the pooled staging buffer for capped merge selections.
+	keepBuf []entry
 }
 
 var _ sim.Protocol = (*Protocol)(nil)
@@ -217,20 +221,34 @@ func (p *Protocol) merge(e *sim.Engine, owner sim.NodeID, received []sim.NodeID)
 		}
 	}
 	if len(view) > p.cfg.ViewSize {
-		ownerPos := p.cfg.Position(owner)
-		dist, idx := p.sel.Get(len(view))
-		for i, en := range view {
-			dist[i] = p.cfg.Space.Distance(p.cfg.Position(en.id), ownerPos)
-			idx[i] = i
+		// Stage the selected entries in the pooled buffer, then write them
+		// back into the view's own backing array: an in-place permutation
+		// would clobber entries still pending, and a fresh slice per merge
+		// is exactly the allocation this path avoids.
+		idx := p.selectView(view, owner, p.cfg.ViewSize)
+		kept := p.keepBuf[:0]
+		for _, j := range idx {
+			kept = append(kept, view[j])
 		}
-		k := topk.SmallestK(dist, idx, p.cfg.ViewSize)
-		kept := make([]entry, k)
-		for i, j := range idx[:k] {
-			kept[i] = view[j]
-		}
-		view = kept
+		p.keepBuf = kept
+		view = view[:copy(view, kept)]
 	}
 	p.views[owner] = view
+}
+
+// selectView partially selects the up-to-k view indices whose entries are
+// closest to id's current position, ordered by increasing distance (ties
+// toward the earlier view slot). The result aliases pooled scratch: it is
+// only valid until the next selection and must not be retained.
+func (p *Protocol) selectView(view []entry, id sim.NodeID, k int) []int {
+	ownerPos := p.cfg.Position(id)
+	dist, idx := p.sel.Get(len(view))
+	for i, en := range view {
+		dist[i] = p.cfg.Space.Distance(p.cfg.Position(en.id), ownerPos)
+		idx[i] = i
+	}
+	k = topk.SmallestK(dist, idx, k)
+	return idx[:k]
 }
 
 func (p *Protocol) contains(view []entry, id sim.NodeID) bool {
@@ -258,22 +276,49 @@ func (p *Protocol) purgeDead(e *sim.Engine, id sim.NodeID) {
 	}
 }
 
-// Neighbors implements core.Topology: the k closest view entries, ordered
-// by increasing distance to id's current position.
+// AppendNeighbors implements core.Topology: it appends the k closest view
+// entries of id to dst, ordered by increasing distance to id's current
+// position, and returns the extended slice. With a caller-owned buffer
+// the query is allocation-free.
+func (p *Protocol) AppendNeighbors(dst []sim.NodeID, id sim.NodeID, k int) []sim.NodeID {
+	if id < 0 || int(id) >= len(p.views) || k <= 0 {
+		return dst
+	}
+	view := p.views[id]
+	for _, j := range p.selectView(view, id, k) {
+		dst = append(dst, view[j].id)
+	}
+	return dst
+}
+
+// EachNeighbor implements core.Topology: it calls yield for each of the k
+// closest view entries of id in increasing distance order, stopping early
+// if yield returns false. The iteration runs over the pooled selection
+// scratch, so yield must not call back into this protocol.
+func (p *Protocol) EachNeighbor(id sim.NodeID, k int, yield func(sim.NodeID) bool) {
+	if id < 0 || int(id) >= len(p.views) || k <= 0 {
+		return
+	}
+	view := p.views[id]
+	for _, j := range p.selectView(view, id, k) {
+		if !yield(view[j].id) {
+			return
+		}
+	}
+}
+
+// Neighbors returns the k closest view entries of id as a fresh slice,
+// ordered by increasing distance to id's current position — the legacy
+// one-shot form, kept for callers without a reusable buffer. Hot paths
+// use AppendNeighbors or EachNeighbor, which do not allocate.
 func (p *Protocol) Neighbors(id sim.NodeID, k int) []sim.NodeID {
-	if int(id) >= len(p.views) || k <= 0 {
+	if id < 0 || int(id) >= len(p.views) || k <= 0 {
 		return nil
 	}
 	view := p.views[id]
-	ownerPos := p.cfg.Position(id)
-	dist, idx := p.sel.Get(len(view))
-	for i, en := range view {
-		dist[i] = p.cfg.Space.Distance(p.cfg.Position(en.id), ownerPos)
-		idx[i] = i
-	}
-	k = topk.SmallestK(dist, idx, k)
-	out := make([]sim.NodeID, k)
-	for i, j := range idx[:k] {
+	idx := p.selectView(view, id, k)
+	out := make([]sim.NodeID, len(idx))
+	for i, j := range idx {
 		out[i] = view[j].id
 	}
 	return out
@@ -281,7 +326,7 @@ func (p *Protocol) Neighbors(id sim.NodeID, k int) []sim.NodeID {
 
 // ViewSize returns id's current view size.
 func (p *Protocol) ViewSize(id sim.NodeID) int {
-	if int(id) >= len(p.views) {
+	if id < 0 || int(id) >= len(p.views) {
 		return 0
 	}
 	return len(p.views[id])
@@ -289,7 +334,7 @@ func (p *Protocol) ViewSize(id sim.NodeID) int {
 
 // View returns a copy of id's raw view.
 func (p *Protocol) View(id sim.NodeID) []sim.NodeID {
-	if int(id) >= len(p.views) {
+	if id < 0 || int(id) >= len(p.views) {
 		return nil
 	}
 	out := make([]sim.NodeID, len(p.views[id]))

@@ -3,6 +3,11 @@
 // nodes drawn at their virtual positions with edges to their 4 closest
 // overlay neighbours.
 //
+// The renderers are read-only consumers of scenario.NodeSnapshot: the
+// Neighbors lists of one snapshot share a single backing array (captured
+// through the overlay's AppendNeighbors form), so they are iterated but
+// never retained or appended to here.
+//
 // Torus wrap-around edges (between a node near one border and a neighbour
 // near the opposite border) are drawn as short stubs rather than lines
 // across the whole image, matching how the paper's figures read.
@@ -61,9 +66,15 @@ func WriteSVG(w io.Writer, tor space.Torus, snap []scenario.NodeSnapshot, opts S
 		width, height, width, height)
 	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
 
-	// Edges first, so nodes draw on top. Each undirected edge once.
+	// Edges first, so nodes draw on top. Each undirected edge once; on a
+	// converged shape nearly every directed edge has its reverse in the
+	// snapshot, so size for about half the total neighbour entries.
 	type edge struct{ a, b sim.NodeID }
-	drawn := make(map[edge]bool)
+	edges := 0
+	for _, ns := range snap {
+		edges += len(ns.Neighbors)
+	}
+	drawn := make(map[edge]bool, edges/2+1)
 	halfX, halfY := tor.Width(0)/2, tor.Width(1)/2
 	for _, ns := range snap {
 		x1, y1 := px(ns.Pos)

@@ -24,6 +24,17 @@
 //	sys.Run(10)                                            // reshape
 //	fmt.Println(sys.Homogeneity(), "<", sys.ReferenceHomogeneity())
 //
+// # Neighbour queries
+//
+// The overlay's closest-peer query is the facade's hottest read, so it
+// comes in two allocation-free primary forms mirroring the internal
+// core.Topology contract: AppendNeighbors (append into a caller-owned,
+// typically pooled, buffer) and EachNeighbor (zero-copy visitor). The
+// classic Neighbors form remains as a thin wrapper that allocates a fresh
+// slice per call. Point lookups (Lookup) ride the same machinery: a
+// greedy EachNeighbor-driven descent over the overlay instead of a scan
+// of the whole live set, with LookupExact as the full-scan oracle.
+//
 // Everything is deterministic given SystemConfig.Seed, uses only the
 // standard library, and runs comfortably at the paper's largest scale
 // (51 200 nodes) on a laptop.
@@ -35,6 +46,7 @@ import (
 	"polystyrene/internal/core"
 	"polystyrene/internal/fd"
 	"polystyrene/internal/metrics"
+	"polystyrene/internal/route"
 	"polystyrene/internal/rps"
 	"polystyrene/internal/sim"
 	"polystyrene/internal/space"
@@ -144,6 +156,7 @@ type System struct {
 	sampler *rps.Protocol
 	tman    *tman.Protocol
 	poly    *core.Protocol // nil when Baseline
+	router  *route.Router  // greedy overlay descent, backing Lookup
 	shape   []space.Point
 	// interner/shapeIDs carry the shape points' dense interned identities,
 	// shared with the Polystyrene layer so metrics read its holders index.
@@ -226,6 +239,16 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		}
 		sys.poly = poly
 		layers = append(layers, poly)
+	}
+
+	// The lookup router descends with a wider fanout than the metric
+	// neighbourhood: greedy descent needs the extra side-steps to escape
+	// shallow local minima on a recovering (half-density) shape.
+	sys.router = &route.Router{
+		Space:    spc,
+		Topology: sys.tman,
+		Position: sys.position,
+		Fanout:   2 * cfg.NeighborK,
 	}
 
 	sys.engine = sim.New(cfg.Seed, layers...)
@@ -329,20 +352,79 @@ func (s *System) NodeGuests(id int) [][]float64 {
 	return out
 }
 
-// Neighbors returns the k closest overlay neighbours of a node.
-func (s *System) Neighbors(id, k int) []int {
-	nbs := s.tman.Neighbors(sim.NodeID(id), k)
-	out := make([]int, len(nbs))
-	for i, nb := range nbs {
-		out[i] = int(nb)
-	}
-	return out
+// AppendNeighbors appends the k closest overlay neighbours of a node to
+// dst, ordered by increasing distance, and returns the extended slice —
+// the allocation-free primary form of the neighbour query (pass a pooled
+// buffer). See also EachNeighbor for the zero-copy visitor form.
+func (s *System) AppendNeighbors(dst []int, id, k int) []int {
+	s.tman.EachNeighbor(sim.NodeID(id), k, func(nb sim.NodeID) bool {
+		dst = append(dst, int(nb))
+		return true
+	})
+	return dst
 }
 
-// Lookup returns the live node whose position is closest to the query
-// point — the primitive a storage or routing layer builds on. It returns
-// -1 when the system is empty.
+// EachNeighbor calls yield for the k closest overlay neighbours of a node
+// in increasing distance order, stopping early when yield returns false,
+// without materialising the list. yield must not call back into the
+// System's topology (reading positions is fine).
+func (s *System) EachNeighbor(id, k int, yield func(neighbor int) bool) {
+	s.tman.EachNeighbor(sim.NodeID(id), k, func(nb sim.NodeID) bool {
+		return yield(int(nb))
+	})
+}
+
+// Neighbors returns the k closest overlay neighbours of a node as a fresh
+// slice — a thin convenience wrapper over AppendNeighbors for callers
+// without a reusable buffer.
+func (s *System) Neighbors(id, k int) []int {
+	return s.AppendNeighbors(make([]int, 0, k), id, k)
+}
+
+// lookupProbes is how many evenly strided live nodes Lookup samples to
+// seed its greedy descent. A handful of starts is enough to land the
+// descent in the target's basin on a converged shape.
+const lookupProbes = 8
+
+// Lookup returns a live node whose position is (locally) closest to the
+// query point — the primitive a storage or routing layer builds on. It
+// runs in O(probes + hops·k) instead of scanning the whole live set: the
+// closest of a few evenly strided live probes seeds a greedy descent over
+// the overlay (internal/route), which ends at the node none of whose
+// neighbours improves on it. On a converged shape that is the global
+// nearest node; if the descent fails to terminate within its hop budget
+// (a transiently broken overlay), Lookup falls back to the exact
+// full-scan answer of LookupExact. It returns -1 when the system is
+// empty.
 func (s *System) Lookup(query []float64) int {
+	live := s.engine.LiveIDs()
+	if len(live) == 0 {
+		return -1
+	}
+	q := space.Point(query)
+	stride := len(live) / lookupProbes
+	if stride == 0 {
+		stride = 1
+	}
+	start, startD := sim.None, 0.0
+	for i := 0; i < len(live); i += stride {
+		id := live[i]
+		if d := s.space.Distance(q, s.position(id)); start == sim.None || d < startD {
+			start, startD = id, d
+		}
+	}
+	dest, _, err := s.router.Descend(s.engine, start, q)
+	if err != nil {
+		return s.LookupExact(query)
+	}
+	return int(dest)
+}
+
+// LookupExact returns the live node whose position is globally closest to
+// the query point, by scanning the whole live set — the O(live) oracle
+// Lookup approximates (and falls back to). It returns -1 when the system
+// is empty.
+func (s *System) LookupExact(query []float64) int {
 	best, bestD := -1, 0.0
 	q := space.Point(query)
 	for _, id := range s.engine.LiveIDs() {
@@ -379,8 +461,8 @@ func (v metricsView) NumGhosts(id sim.NodeID) int {
 	}
 	return v.s.poly.NumGhosts(id)
 }
-func (v metricsView) Neighbors(id sim.NodeID, k int) []sim.NodeID {
-	return v.s.tman.Neighbors(id, k)
+func (v metricsView) EachNeighbor(id sim.NodeID, k int, yield func(sim.NodeID) bool) {
+	v.s.tman.EachNeighbor(id, k, yield)
 }
 
 // Homogeneity measures how well the original shape is preserved: the mean

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"polystyrene/internal/scenario"
+	"polystyrene/internal/sim"
+	"polystyrene/internal/space"
 )
 
 func torusSystem(t *testing.T, seed uint64, baseline bool) *System {
@@ -189,6 +191,113 @@ func TestNeighborsExposed(t *testing.T) {
 	nbs := sys.Neighbors(0, 4)
 	if len(nbs) != 4 {
 		t.Fatalf("neighbours = %v", nbs)
+	}
+	// Out-of-range ids — including negative sentinels like a failed
+	// lookup's -1 — answer as empty queries, not panics.
+	for _, id := range []int{-1, 100000} {
+		if got := sys.Neighbors(id, 4); len(got) != 0 {
+			t.Fatalf("Neighbors(%d) = %v, want empty", id, got)
+		}
+	}
+}
+
+// TestNeighborFormsAgree pins the three facade query forms to each other:
+// Neighbors (legacy fresh slice), AppendNeighbors (caller buffer) and
+// EachNeighbor (visitor) must produce identical sequences, and an early
+// visitor stop must truncate exactly.
+func TestNeighborFormsAgree(t *testing.T) {
+	sys := torusSystem(t, 8, false)
+	sys.Run(10)
+	buf := make([]int, 0, 8)
+	for _, id := range []int{0, 7, 99, 141} {
+		want := sys.Neighbors(id, 4)
+		buf = sys.AppendNeighbors(buf[:0], id, 4)
+		if !reflect.DeepEqual(buf, want) {
+			t.Fatalf("node %d: AppendNeighbors %v != Neighbors %v", id, buf, want)
+		}
+		var visited []int
+		sys.EachNeighbor(id, 4, func(nb int) bool {
+			visited = append(visited, nb)
+			return true
+		})
+		if !reflect.DeepEqual(visited, want) {
+			t.Fatalf("node %d: EachNeighbor %v != Neighbors %v", id, visited, want)
+		}
+		var first []int
+		sys.EachNeighbor(id, 4, func(nb int) bool {
+			first = append(first, nb)
+			return false
+		})
+		if len(first) != 1 || first[0] != want[0] {
+			t.Fatalf("node %d: early-stop visit %v, want [%d]", id, first, want[0])
+		}
+	}
+}
+
+// TestLookupMatchesFullScanOracle pins the greedy-descent Lookup to the
+// full-scan oracle it replaced: on a converged shape — intact, and again
+// after a catastrophe has been absorbed — the descent must land on a node
+// (essentially) as close to the query as the global nearest.
+func TestLookupMatchesFullScanOracle(t *testing.T) {
+	sys := torusSystem(t, 12, false)
+	sys.Run(15)
+	queries := [][]float64{
+		{0, 0}, {5.2, 5.1}, {10.5, 2.3}, {19.9, 9.9}, {13.1, 7.7}, {2.4, 8.6},
+	}
+	check := func(phase string, slack float64) {
+		t.Helper()
+		for _, q := range queries {
+			got, want := sys.Lookup(q), sys.LookupExact(q)
+			if got < 0 || want < 0 {
+				t.Fatalf("%s: lookup failed for %v (got %d, oracle %d)", phase, q, got, want)
+			}
+			dg := sys.space.Distance(space.Point(q), sys.position(sim.NodeID(got)))
+			dw := sys.space.Distance(space.Point(q), sys.position(sim.NodeID(want)))
+			if dg > dw+slack {
+				t.Fatalf("%s: Lookup(%v) landed at distance %v, oracle reaches %v",
+					phase, q, dg, dw)
+			}
+		}
+	}
+	// On the intact converged grid greedy descent finds the global nearest.
+	check("converged", 1e-9)
+	sys.CrashRegion(func(p []float64) bool { return p[0] >= 10 })
+	sys.Run(15)
+	// The recovered shape is sparser and less regular; allow the descent
+	// one grid step of slack from the global optimum.
+	check("recovered", 1.0)
+}
+
+// TestNeighborsGoldenVsPR2 is the facade-level golden check of the
+// neighbour-query redesign: System.Neighbors output for a fixed seed and
+// scenario must be byte-identical to what the PR 2 implementation (fresh
+// result slice per query) produced. The expected lists were captured by
+// running this exact configuration against the PR 2 tree.
+func TestNeighborsGoldenVsPR2(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{
+		Seed:              1234,
+		Space:             Torus(20, 10),
+		Shape:             TorusShape(20, 10, 1),
+		ReplicationFactor: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(15)
+	sys.CrashRegion(func(p []float64) bool { return p[0] >= 10 })
+	sys.Run(10)
+	golden := map[int][]int{
+		0:   {108, 27, 123, 169},
+		3:   {81, 21, 63, 85},
+		17:  {7, 16, 18, 37},
+		42:  {46, 88, 185, 23},
+		101: {87, 104, 5, 68},
+		150: {108, 130, 151, 169},
+	}
+	for id, want := range golden {
+		if got := sys.Neighbors(id, 4); !reflect.DeepEqual(got, want) {
+			t.Fatalf("node %d: Neighbors = %v, want PR 2 golden %v", id, got, want)
+		}
 	}
 }
 

@@ -1,21 +1,22 @@
 #!/usr/bin/env bash
 # Regenerates the tracked bench-trajectory snapshot (BENCH_2.json onward):
-# runs the per-round hot-path micro-benchmarks (migrate round, metrics
-# round — each with its string-keyed baseline variant) plus the headline
-# Fig. 10a scalability bench, and converts the `go test -json` stream into
-# a stable JSON document via scripts/benchjson.
+# runs the per-round hot-path micro-benchmarks — migrate round, metrics
+# round, proximity round and the neighbour query, each against its legacy
+# baseline variant — plus the headline Fig. 10a scalability bench, and
+# converts the `go test -json` stream into a stable JSON document via
+# scripts/benchjson.
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_2.json}"
+out="${1:-BENCH_3.json}"
 benchtime="${2:-5x}"
 
 go test -json -run '^$' \
-  -bench 'BenchmarkMigrateRound|BenchmarkMetricsRound|BenchmarkFig10aScalability' \
+  -bench 'BenchmarkMigrateRound|BenchmarkMetricsRound|BenchmarkProximityRound|BenchmarkNeighborsQuery|BenchmarkFig10aScalability' \
   -benchmem -benchtime "$benchtime" -timeout 30m \
-  . ./internal/core/ ./internal/scenario/ |
+  . ./internal/core/ ./internal/scenario/ ./internal/tman/ |
   go run ./scripts/benchjson > "$out"
 
 echo "wrote $out ($(grep -c '"name"' "$out") benchmark records)" >&2

@@ -73,6 +73,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	// An empty snapshot means the bench regex matched nothing — usually a
+	// renamed benchmark. Fail loudly instead of checking in an empty
+	// trajectory document.
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results parsed from stdin")
+		os.Exit(1)
+	}
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].Package != results[j].Package {
 			return results[i].Package < results[j].Package
