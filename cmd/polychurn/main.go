@@ -37,7 +37,9 @@ func run(args []string, out io.Writer) error {
 		rounds    = fs.Int("rounds", 40, "churn period length in rounds")
 		converge  = fs.Int("converge", 20, "convergence rounds before churn")
 		settle    = fs.Int("settle", 20, "quiet rounds after churn before measuring")
-		parallel  = fs.Int("parallel", 0, "concurrent rates (0 = all cores)")
+		parallel  = fs.Int("parallel", 0, "total worker budget across rates (0 = all cores)")
+		exchange  = fs.Int("exchange-parallel", 0,
+			"per-rate intra-round exchange worker cap (0 = sequential engines; any value >= 1 gives identical results)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,10 +52,11 @@ func run(args []string, out io.Writer) error {
 
 	base := scenario.Config{Seed: *seed, W: *w, H: *h, K: *k}
 	outs, err := scenario.ChurnSweep(base, rates, scenario.ChurnSweepOpts{
-		ChurnRounds:    *rounds,
-		ConvergeRounds: *converge,
-		SettleRounds:   *settle,
-		Parallelism:    *parallel,
+		ChurnRounds:         *rounds,
+		ConvergeRounds:      *converge,
+		SettleRounds:        *settle,
+		Parallelism:         *parallel,
+		ExchangeParallelism: *exchange,
 	})
 	if err != nil {
 		return err

@@ -39,6 +39,8 @@ func run(args []string, out io.Writer) error {
 		failAt     = fs.Int("fail-at", 20, "round of the catastrophic failure")
 		reinjectAt = fs.Int("reinject-at", 100, "round of the reinjection")
 		end        = fs.Int("end", 200, "total rounds")
+		exchange   = fs.Int("exchange-parallel", 0,
+			"intra-round exchange workers (0 = sequential engine; results are identical for every value >= 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,12 +51,13 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	cfg := scenario.Config{
-		Seed:        *seed,
-		W:           *w,
-		H:           *h,
-		Polystyrene: !*tmanOnly,
-		K:           *k,
-		Split:       splitKind,
+		Seed:                *seed,
+		W:                   *w,
+		H:                   *h,
+		Polystyrene:         !*tmanOnly,
+		K:                   *k,
+		Split:               splitKind,
+		ExchangeParallelism: *exchange,
 	}
 	phases := scenario.Phases{FailAt: *failAt, ReinjectAt: *reinjectAt, End: *end}
 

@@ -38,7 +38,9 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Uint64("seed", 1, "base random seed")
 		converge = fs.Int("converge", 20, "convergence rounds before the failure")
 		budget   = fs.Int("max-rounds", 80, "round budget for reshaping")
-		parallel = fs.Int("parallel", 0, "concurrent grid cells (0 = all cores)")
+		parallel = fs.Int("parallel", 0, "total worker budget across grid cells (0 = all cores)")
+		exchange = fs.Int("exchange-parallel", 0,
+			"per-cell intra-round exchange worker cap (0 = sequential engines; any value >= 1 gives identical results)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,10 +68,11 @@ func run(args []string, out io.Writer) error {
 	sizes := scenario.PaperGridSizes(*maxNodes)
 	results, err := scenario.SizeSweep(scenario.Config{Seed: *seed}, sizes, variants,
 		scenario.RunOpts{
-			Reps:           *reps,
-			ConvergeRounds: *converge,
-			MaxRounds:      *budget,
-			Parallelism:    *parallel,
+			Reps:                *reps,
+			ConvergeRounds:      *converge,
+			MaxRounds:           *budget,
+			Parallelism:         *parallel,
+			ExchangeParallelism: *exchange,
 		})
 	if err != nil {
 		return err

@@ -2,6 +2,8 @@ package polystyrene_test
 
 import (
 	"fmt"
+	"math"
+	"slices"
 
 	"polystyrene"
 )
@@ -23,6 +25,68 @@ func ExampleNewSystem() {
 	sys.Run(12) // reshape
 	fmt.Println("shape recovered:", sys.Homogeneity() < sys.ReferenceHomogeneity())
 	// Output: shape recovered: true
+}
+
+// ExampleSystem_AppendNeighbors shows the allocation-free primary form of
+// the neighbour query: results append into a caller-owned buffer that a
+// hot loop reuses across calls.
+func ExampleSystem_AppendNeighbors() {
+	sys, err := polystyrene.NewSystem(polystyrene.SystemConfig{
+		Seed:  3,
+		Space: polystyrene.Torus(20, 10),
+		Shape: polystyrene.TorusShape(20, 10, 1),
+	})
+	if err != nil {
+		panic(err)
+	}
+	sys.Run(15) // converge
+
+	buf := make([]int, 0, 8) // pooled: reused for every query
+	for _, id := range []int{0, 1, 2} {
+		buf = sys.AppendNeighbors(buf[:0], id, 4)
+		fmt.Printf("node %d has %d neighbours, self-links: %v\n",
+			id, len(buf), slices.Contains(buf, id))
+	}
+	// Output:
+	// node 0 has 4 neighbours, self-links: false
+	// node 1 has 4 neighbours, self-links: false
+	// node 2 has 4 neighbours, self-links: false
+}
+
+// ExampleSystem_EachNeighbor shows the zero-copy visitor form: neighbours
+// stream to the callback in increasing distance order, and returning
+// false stops the iteration early — no slice ever materialises.
+func ExampleSystem_EachNeighbor() {
+	sys, err := polystyrene.NewSystem(polystyrene.SystemConfig{
+		Seed:  3,
+		Space: polystyrene.Torus(20, 10),
+		Shape: polystyrene.TorusShape(20, 10, 1),
+	})
+	if err != nil {
+		panic(err)
+	}
+	sys.Run(15)
+
+	pos := sys.NodePosition(0)
+	dist := func(p []float64) float64 {
+		// Torus distance along each axis, for the 20x10 space above.
+		dx := math.Min(math.Abs(p[0]-pos[0]), 20-math.Abs(p[0]-pos[0]))
+		dy := math.Min(math.Abs(p[1]-pos[1]), 10-math.Abs(p[1]-pos[1]))
+		return math.Hypot(dx, dy)
+	}
+	visited, last, sorted := 0, 0.0, true
+	sys.EachNeighbor(0, 8, func(nb int) bool {
+		d := dist(sys.NodePosition(nb))
+		sorted = sorted && d >= last
+		last = d
+		visited++
+		return visited < 3 // stop early after three neighbours
+	})
+	fmt.Println("visited:", visited)
+	fmt.Println("increasing distance:", sorted)
+	// Output:
+	// visited: 3
+	// increasing distance: true
 }
 
 // ExampleSystem_Lookup shows the routing primitive: queries resolve to the

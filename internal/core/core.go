@@ -36,6 +36,23 @@
 // coordinates — every hosted point is interned before use, and points are
 // immutable once published. IDs are private to one Protocol's interner;
 // share Config.Interner when the harness must resolve the same IDs.
+//
+// # Batched execution
+//
+// A Polystyrene step's conflict set is {initiator} ∪ {current backup
+// targets after the top-up} ∪ {migration partner}: those are the only
+// nodes whose layer state the step reads or writes, which lets the engine
+// batch disjoint steps concurrently (sim.Batched). Two cross-cutting
+// structures need care: the guests⁻¹ holders index is keyed by PointID,
+// not NodeID, so its mutations are deferred into per-worker logs and
+// applied at each batch barrier in step order; and the neighbour-window
+// rankings read the *positions* of arbitrary overlay candidates, so the
+// layer snapshots all node positions at the start of its batched pass
+// (Position serves the snapshot while the pass runs) to make rankings
+// independent of concurrent projections. Pooled scratch lives in
+// per-worker slots — slot 0 is the sequential engine's — and the batch
+// matcher mirrors the step's peer/target selection on a dedicated plan
+// scratch without mutating anything.
 package core
 
 import (
@@ -47,6 +64,7 @@ import (
 	"polystyrene/internal/rps"
 	"polystyrene/internal/sim"
 	"polystyrene/internal/space"
+	"polystyrene/internal/xrand"
 )
 
 // Topology is the view Polystyrene needs of the topology-construction
@@ -78,6 +96,25 @@ import (
 type Topology interface {
 	AppendNeighbors(dst []sim.NodeID, id sim.NodeID, k int) []sim.NodeID
 	EachNeighbor(id sim.NodeID, k int, yield func(sim.NodeID) bool)
+}
+
+// WorkerTopology is the extension of Topology this layer requires to run
+// under the engine's batch scheduler: AppendNeighbors variants whose
+// selection scratch is owned by an explicit worker slot (so concurrent
+// batched Polystyrene steps can query the overlay without sharing
+// buffers) or by the matcher's plan mirror. Both T-Man and Vicinity
+// implement it; a Topology without it keeps the layer on the sequential
+// path (Batchable returns false).
+type WorkerTopology interface {
+	Topology
+	// AppendNeighborsW is AppendNeighbors over worker slot w's scratch.
+	AppendNeighborsW(w int, dst []sim.NodeID, id sim.NodeID, k int) []sim.NodeID
+	// AppendNeighborsPlan is AppendNeighbors over the provider's plan
+	// scratch (single-threaded, used between batches).
+	AppendNeighborsPlan(dst []sim.NodeID, id sim.NodeID, k int) []sim.NodeID
+	// EnsureWorkers sizes the provider's worker-slot table; called
+	// single-threaded before any worker starts.
+	EnsureWorkers(n int)
 }
 
 // Defaults from the paper's experimental setting (Sec. IV-A).
@@ -215,32 +252,86 @@ type nodeState struct {
 	backups []backupRef
 }
 
-// Protocol is the Polystyrene layer. It implements sim.Protocol and must
-// be stacked above its Config.Topology layer in the engine.
-type Protocol struct {
-	cfg      Config
-	splitter Splitter
-	nodes    []*nodeState
+// holderOp is one deferred holders-index mutation of a batched step,
+// applied at the batch barrier in step order.
+type holderOp struct {
+	pid  space.PointID
+	node sim.NodeID
+	add  bool
+}
 
-	// holders is the incremental guests⁻¹ index: holders.lists[pid] are
-	// the nodes hosting point pid as a guest (possibly including crashed
-	// nodes; readers filter by liveness — see HoldersOf).
-	holders holderIndex
+// stepOps locates one step's contiguous run of deferred ops in its
+// worker's log.
+type stepOps struct {
+	step   int32
+	lo, hi int32
+}
 
-	// Pooled scratch (the engine is sequential, so per-instance reuse is
-	// safe). pset/nset are generation-stamped membership sets over dense
-	// PointIDs and NodeIDs respectively; mergedPts/IDs is the migration
-	// union buffer; failedBuf backs recover's sorted origin list; nbrBuf
-	// backs the AppendNeighbors queries of migration and backup placement.
+// scratch is one worker slot's pooled step state. pset/nset are
+// generation-stamped membership sets over dense PointIDs and NodeIDs
+// respectively; mergedPts/IDs is the migration union buffer; failedBuf
+// backs recover's sorted origin list; nbrBuf backs the neighbour and
+// random-peer queries of migration and backup placement; splitter is the
+// slot's migration splitter (batched steps point its Rng at the step
+// stream); ops/steps hold the slot's deferred holders-index mutations.
+type scratch struct {
 	pset      genset.Set
 	nset      genset.Set
 	mergedPts []space.Point
 	mergedIDs []space.PointID
 	failedBuf []sim.NodeID
 	nbrBuf    []sim.NodeID
+	splitter  Splitter
+	ops       []holderOp
+	steps     []stepOps
+}
+
+// Protocol is the Polystyrene layer. It implements sim.Protocol and
+// sim.Batched, and must be stacked above its Config.Topology layer in the
+// engine.
+type Protocol struct {
+	cfg      Config
+	splitter Splitter
+	nodes    []*nodeState
+	// wtopo is cfg.Topology's worker-slot extension, nil when the
+	// provider does not offer one (which keeps the layer sequential).
+	wtopo WorkerTopology
+
+	// holders is the incremental guests⁻¹ index: holders.lists[pid] are
+	// the nodes hosting point pid as a guest (possibly including crashed
+	// nodes; readers filter by liveness — see HoldersOf).
+	holders holderIndex
+
+	// ws holds one scratch per worker slot; slot 0 is the sequential
+	// engine's. plan backs the matcher's selection mirrors, and flushBuf
+	// stages the step-ordered application of deferred holder ops.
+	ws       []*scratch
+	flushBuf []flushRef
+
+	plan struct {
+		nset genset.Set
+		cand []sim.NodeID
+		nbr  []sim.NodeID
+	}
+	// psiCache hands each planned step's migration ψ-window (a draw-free
+	// overlay ranking) from PlanStep to StepW.
+	psiCache sim.WindowCache
+
+	// posSnap/snapOn freeze Position answers during a batched pass (see
+	// the package comment).
+	posSnap []space.Point
+	snapOn  bool
+}
+
+// flushRef points FlushBatch at one worker's run of ops for one step.
+type flushRef struct {
+	step   int32
+	worker int32
+	lo, hi int32
 }
 
 var _ sim.Protocol = (*Protocol)(nil)
+var _ sim.Batched = (*Protocol)(nil)
 
 // New returns a Polystyrene layer with the given configuration.
 func New(cfg Config) (*Protocol, error) {
@@ -248,14 +339,32 @@ func New(cfg Config) (*Protocol, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Protocol{
+	p := &Protocol{
 		cfg: cfg,
 		splitter: Splitter{
 			Kind:              cfg.Split,
 			Space:             cfg.Space,
 			DiameterSampleCap: cfg.DiameterSampleCap,
 		},
-	}, nil
+	}
+	p.wtopo, _ = cfg.Topology.(WorkerTopology)
+	p.ws = []*scratch{p.newScratch()}
+	p.psiCache = sim.NewWindowCache(cfg.Psi)
+	return p, nil
+}
+
+func (p *Protocol) newScratch() *scratch {
+	return &scratch{splitter: Splitter{
+		Kind:              p.cfg.Split,
+		Space:             p.cfg.Space,
+		DiameterSampleCap: p.cfg.DiameterSampleCap,
+	}}
+}
+
+func (p *Protocol) ensureWorkers(n int) {
+	for len(p.ws) < n {
+		p.ws = append(p.ws, p.newScratch())
+	}
 }
 
 // MustNew is New but panics on configuration errors.
@@ -297,50 +406,91 @@ func (p *Protocol) InitNode(e *sim.Engine, id sim.NodeID) {
 // and projection for one node (paper Fig. 4, steps 2-4; projection is
 // step 1 of the *next* T-Man round).
 func (p *Protocol) Step(e *sim.Engine, id sim.NodeID) {
-	p.recover(e, id)
-	p.backup(e, id)
-	p.migrate(e, id)
+	p.StepW(e.SeqCtx(), id)
+}
+
+// StepW implements sim.Batched: the full per-node step under an explicit
+// step context (the sequential Step routes through it byte-identically,
+// with scratch slot 0 and immediate holders-index updates).
+func (p *Protocol) StepW(ctx *sim.StepCtx, id sim.NodeID) {
+	scr := p.ws[ctx.Worker()]
+	opLo := len(scr.ops)
+	p.recover(ctx, scr, id)
+	p.backup(ctx, scr, id)
+	p.migrate(ctx, scr, id)
 	p.project(id)
+	if ctx.Batched() && len(scr.ops) > opLo {
+		scr.steps = append(scr.steps, stepOps{step: int32(ctx.StepIndex()), lo: int32(opLo), hi: int32(len(scr.ops))})
+	}
+}
+
+// holderAdd records (or, sequentially, applies) a holders-index insert.
+// The index is keyed by PointID, which no conflict set covers, so batched
+// steps must not touch it directly: mutations queue in the worker's log
+// and FlushBatch applies them at the barrier in step order.
+func (p *Protocol) holderAdd(ctx *sim.StepCtx, scr *scratch, pid space.PointID, n sim.NodeID) {
+	if !ctx.Batched() {
+		p.holders.add(ctx.Engine(), pid, n)
+		return
+	}
+	scr.ops = append(scr.ops, holderOp{pid: pid, node: n, add: true})
+}
+
+// holderRemove is holderAdd's removal counterpart.
+func (p *Protocol) holderRemove(ctx *sim.StepCtx, scr *scratch, pid space.PointID, n sim.NodeID) {
+	if !ctx.Batched() {
+		p.holders.remove(pid, n)
+		return
+	}
+	scr.ops = append(scr.ops, holderOp{pid: pid, node: n})
 }
 
 // --- Recovery (Algorithm 2) ---
 
 // recover reactivates ghost points whose origin node has been detected as
 // failed, merging them into the local guest set.
-func (p *Protocol) recover(e *sim.Engine, id sim.NodeID) {
+func (p *Protocol) recover(ctx *sim.StepCtx, scr *scratch, id sim.NodeID) {
+	e := ctx.Engine()
 	st := p.nodes[id]
 	if len(st.ghosts) == 0 {
 		return
 	}
-	// Collect failed origins first and process them in ID order: map
-	// iteration order is randomised in Go, and the merge order influences
-	// guest-slice order (hence medoid tie-breaks), which would make runs
-	// non-reproducible.
-	failed := p.failedBuf[:0]
+	// Collect the origins first and only then consult the detector, in ID
+	// order: map iteration order is randomised in Go, and both the merge
+	// order (guest-slice order, hence medoid tie-breaks) and the
+	// detector's query order (a probabilistic detector consumes a random
+	// stream per query) would otherwise make runs non-reproducible.
+	failed := scr.failedBuf[:0]
 	for origin := range st.ghosts {
-		if p.cfg.Detector.Failed(e, id, origin) {
-			failed = append(failed, origin)
-		}
+		failed = append(failed, origin)
 	}
 	slices.Sort(failed)
+	n := 0
 	for _, origin := range failed {
-		p.adoptGhosts(e, st, id, origin, st.ghosts[origin])
+		if p.cfg.Detector.Failed(e, id, origin) {
+			failed[n] = origin
+			n++
+		}
+	}
+	failed = failed[:n]
+	for _, origin := range failed {
+		p.adoptGhosts(ctx, scr, st, id, origin, st.ghosts[origin])
 		delete(st.ghosts, origin)
 	}
-	p.failedBuf = failed
+	scr.failedBuf = failed
 }
 
 // adoptGhosts merges a failed origin's ghost set into id's guests,
 // skipping points already hosted (set union by interned ID), and retires
 // the dead origin's stale entries from the holders index.
-func (p *Protocol) adoptGhosts(e *sim.Engine, st *nodeState, id, origin sim.NodeID, gs *ghostSet) {
+func (p *Protocol) adoptGhosts(ctx *sim.StepCtx, scr *scratch, st *nodeState, id, origin sim.NodeID, gs *ghostSet) {
 	for _, pid := range gs.ids {
-		p.holders.remove(pid, origin)
+		p.holderRemove(ctx, scr, pid, origin)
 	}
 	before := len(st.guestIDs)
-	st.guests, st.guestIDs = p.unionInto(st.guests, st.guestIDs, gs.pts, gs.ids)
+	st.guests, st.guestIDs = p.unionInto(scr, st.guests, st.guestIDs, gs.pts, gs.ids)
 	for _, pid := range st.guestIDs[before:] {
-		p.holders.add(e, pid, id)
+		p.holderAdd(ctx, scr, pid, id)
 	}
 	if len(st.guestIDs) > before {
 		st.posDirty = true
@@ -352,8 +502,8 @@ func (p *Protocol) adoptGhosts(e *sim.Engine, st *nodeState, id, origin sim.Node
 // adoption and the migration merge, equivalent to the string-keyed
 // mergePoints oracle but touching only the pooled generation stamps.
 // Existing dst order is preserved and novel points append in src order.
-func (p *Protocol) unionInto(dstPts []space.Point, dstIDs []space.PointID, srcPts []space.Point, srcIDs []space.PointID) ([]space.Point, []space.PointID) {
-	mark, gen := p.pset.Next(p.cfg.Interner.Len())
+func (p *Protocol) unionInto(scr *scratch, dstPts []space.Point, dstIDs []space.PointID, srcPts []space.Point, srcIDs []space.PointID) ([]space.Point, []space.PointID) {
+	mark, gen := scr.pset.Next(p.cfg.Interner.Len())
 	for _, pid := range dstIDs {
 		mark[pid] = gen
 	}
@@ -371,7 +521,8 @@ func (p *Protocol) unionInto(dstPts []space.Point, dstIDs []space.PointID, srcPt
 
 // backup prunes failed backup targets, tops the set back up to K random
 // nodes, and pushes the current guest set to every target.
-func (p *Protocol) backup(e *sim.Engine, id sim.NodeID) {
+func (p *Protocol) backup(ctx *sim.StepCtx, scr *scratch, id sim.NodeID) {
+	e := ctx.Engine()
 	st := p.nodes[id]
 
 	// backups ← backups \ failed (line 1).
@@ -385,7 +536,7 @@ func (p *Protocol) backup(e *sim.Engine, id sim.NodeID) {
 
 	// backups ← backups ∪ {(K − |backups|) random nodes} (line 2).
 	if missing := p.cfg.K - len(st.backups); missing > 0 {
-		p.pickBackupTargets(e, id, missing)
+		p.pickBackupTargets(ctx, scr, id, missing)
 	}
 
 	// Push guests to every backup (lines 3-4). The stored ghosts are a
@@ -397,24 +548,26 @@ func (p *Protocol) backup(e *sim.Engine, id sim.NodeID) {
 	ptCost := sim.PointCost(p.cfg.Space.Dim())
 	if p.cfg.FullCopyBackup {
 		for i := range st.backups {
+			ctx.Touch(st.backups[i].node)
 			p.pushGhosts(id, st.backups[i].node, st)
-			e.Charge(len(st.guests) * ptCost)
+			ctx.Charge(len(st.guests) * ptCost)
 		}
 		return
 	}
 	// One generation pass marks the current guest set; each target's delta
 	// then prices against its own previously-pushed set, with no maps and
 	// no key strings.
-	mark, gen := p.pset.Next(p.cfg.Interner.Len())
+	mark, gen := scr.pset.Next(p.cfg.Interner.Len())
 	for _, pid := range st.guestIDs {
 		mark[pid] = gen
 	}
 	for i := range st.backups {
 		b := &st.backups[i]
+		ctx.Touch(b.node)
 		p.pushGhosts(id, b.node, st)
 		delta := pushDelta(mark, gen, len(st.guestIDs), b.pushed)
 		b.pushed = append(b.pushed[:0], st.guestIDs...)
-		e.Charge(delta * ptCost)
+		ctx.Charge(delta * ptCost)
 	}
 }
 
@@ -451,10 +604,12 @@ func (p *Protocol) pushGhosts(id, b sim.NodeID, st *nodeState) {
 
 // pickBackupTargets appends up to n fresh backup nodes to id's target list
 // according to the configured placement, excluding self and current
-// targets via the pooled node-generation set.
-func (p *Protocol) pickBackupTargets(e *sim.Engine, id sim.NodeID, n int) {
+// targets via the pooled node-generation set. The candidate draw appends
+// into the slot's pooled buffer, so the top-up allocates nothing.
+func (p *Protocol) pickBackupTargets(ctx *sim.StepCtx, scr *scratch, id sim.NodeID, n int) {
+	e := ctx.Engine()
 	st := p.nodes[id]
-	exclude, gen := p.nset.Next(e.NumNodes())
+	exclude, gen := scr.nset.Next(e.NumNodes())
 	exclude[id] = gen
 	for _, b := range st.backups {
 		exclude[b.node] = gen
@@ -463,10 +618,11 @@ func (p *Protocol) pickBackupTargets(e *sim.Engine, id sim.NodeID, n int) {
 	var candidates []sim.NodeID
 	switch p.cfg.Placement {
 	case PlaceNeighbors:
-		candidates = p.cfg.Topology.AppendNeighbors(p.nbrBuf[:0], id, n+len(st.backups)+1)
-		p.nbrBuf = candidates
+		candidates = p.topoAppendNeighbors(ctx, scr.nbrBuf[:0], id, n+len(st.backups)+1)
+		scr.nbrBuf = candidates
 	default:
-		candidates = p.cfg.Sampler.RandomPeers(e, id, n+len(st.backups)+1)
+		candidates = p.cfg.Sampler.AppendRandomPeersW(ctx, scr.nbrBuf[:0], id, n+len(st.backups)+1)
+		scr.nbrBuf = candidates
 	}
 
 	added := 0
@@ -483,7 +639,7 @@ func (p *Protocol) pickBackupTargets(e *sim.Engine, id sim.NodeID, n int) {
 	// The sampling view may be too small right after a catastrophe; fall
 	// back to uniform draws over the whole live system.
 	for tries := 0; added < n && tries < 20*n; tries++ {
-		c := e.RandomLive()
+		c := ctx.RandomLive()
 		if c != sim.None && exclude[c] != gen {
 			exclude[c] = gen
 			st.backups = append(st.backups, backupRef{node: c})
@@ -492,16 +648,35 @@ func (p *Protocol) pickBackupTargets(e *sim.Engine, id sim.NodeID, n int) {
 	}
 }
 
+// topoAppendNeighbors routes an overlay query at the right scratch slot:
+// batched steps query the WorkerTopology on their own worker slot,
+// sequential ones use the provider's default (slot 0).
+func (p *Protocol) topoAppendNeighbors(ctx *sim.StepCtx, dst []sim.NodeID, id sim.NodeID, k int) []sim.NodeID {
+	if ctx.Batched() {
+		return p.wtopo.AppendNeighborsW(ctx.Worker(), dst, id, k)
+	}
+	return p.cfg.Topology.AppendNeighbors(dst, id, k)
+}
+
+
 // --- Migration (Algorithm 3) ---
 
 // migrate performs the pair-wise pull-push exchange of guest points with a
 // partner drawn from the ψ closest T-Man neighbours plus one random peer.
 // The candidate window lands in pooled scratch, so the Psi-scan performs
 // no allocations.
-func (p *Protocol) migrate(e *sim.Engine, id sim.NodeID) {
-	candidates := p.cfg.Topology.AppendNeighbors(p.nbrBuf[:0], id, p.cfg.Psi)
-	p.nbrBuf = candidates
-	if r := p.cfg.Sampler.RandomPeer(e, id); r != sim.None && r != id {
+func (p *Protocol) migrate(ctx *sim.StepCtx, scr *scratch, id sim.NodeID) {
+	e := ctx.Engine()
+	// Batched steps reuse the ψ window their plan already ranked (it is
+	// draw-free, so the stream stays aligned with the plan's replay).
+	var candidates []sim.NodeID
+	if ctx.Batched() {
+		candidates = p.psiCache.Append(scr.nbrBuf[:0], id)
+	} else {
+		candidates = p.cfg.Topology.AppendNeighbors(scr.nbrBuf[:0], id, p.cfg.Psi)
+	}
+	scr.nbrBuf = candidates
+	if r := p.cfg.Sampler.RandomPeerW(ctx, id); r != sim.None && r != id {
 		dup := false
 		for _, c := range candidates {
 			if c == r {
@@ -511,7 +686,7 @@ func (p *Protocol) migrate(e *sim.Engine, id sim.NodeID) {
 		}
 		if !dup {
 			candidates = append(candidates, r)
-			p.nbrBuf = candidates
+			scr.nbrBuf = candidates
 		}
 	}
 	// Neighbours can be stale for one round after a crash event.
@@ -524,7 +699,8 @@ func (p *Protocol) migrate(e *sim.Engine, id sim.NodeID) {
 	if len(live) == 0 {
 		return
 	}
-	q := live[e.Rand().Intn(len(live))]
+	q := live[ctx.Rand().Intn(len(live))]
+	ctx.Touch(q)
 
 	pst, qst := p.nodes[id], p.nodes[q]
 	// all_points ← p.guests ∪ q.guests (line 4). The union removes
@@ -532,18 +708,26 @@ func (p *Protocol) migrate(e *sim.Engine, id sim.NodeID) {
 	// re-replication after a failure get cleaned up (Sec. IV-B). It is an
 	// ID-keyed union into pooled scratch — p's points first, then q's
 	// novel ones, preserving the merge order the split tie-breaks see.
-	mp := append(p.mergedPts[:0], pst.guests...)
-	mi := append(p.mergedIDs[:0], pst.guestIDs...)
-	mp, mi = p.unionInto(mp, mi, qst.guests, qst.guestIDs)
-	p.mergedPts, p.mergedIDs = mp, mi
+	mp := append(scr.mergedPts[:0], pst.guests...)
+	mi := append(scr.mergedIDs[:0], pst.guestIDs...)
+	mp, mi = p.unionInto(scr, mp, mi, qst.guests, qst.guestIDs)
+	scr.mergedPts, scr.mergedIDs = mp, mi
 
-	toP, toQ, idsP, idsQ := p.splitter.Split(mp, mi, pst.pos, qst.pos)
+	// Sequential steps keep the protocol's persistent splitter (and its
+	// long-lived sampling stream); batched steps use the slot's splitter
+	// fed by the step stream, so diameter sampling is scheduling-proof.
+	sp := &p.splitter
+	if ctx.Batched() {
+		sp = &scr.splitter
+		sp.Rng = ctx.Rand()
+	}
+	toP, toQ, idsP, idsQ := sp.Split(mp, mi, pst.pos, qst.pos)
 	ptCost := sim.PointCost(p.cfg.Space.Dim())
 	// Pull: q ships its guests to p; push: p ships q's new set back.
-	e.Charge((len(qst.guests) + len(toQ)) * ptCost)
+	ctx.Charge((len(qst.guests) + len(toQ)) * ptCost)
 
-	p.setGuests(e, id, pst, toP, idsP)
-	p.setGuests(e, q, qst, toQ, idsQ)
+	p.setGuests(ctx, scr, id, pst, toP, idsP)
+	p.setGuests(ctx, scr, q, qst, toQ, idsQ)
 	p.project(q) // q's position moves with its new guest set
 }
 
@@ -552,15 +736,15 @@ func (p *Protocol) migrate(e *sim.Engine, id sim.NodeID) {
 // projection dirty flag. An unchanged set — the steady-state common case,
 // where migration hands every point back to its holder — costs a single
 // ID-slice comparison and leaves the cached medoid valid.
-func (p *Protocol) setGuests(e *sim.Engine, id sim.NodeID, st *nodeState, pts []space.Point, ids []space.PointID) {
+func (p *Protocol) setGuests(ctx *sim.StepCtx, scr *scratch, id sim.NodeID, st *nodeState, pts []space.Point, ids []space.PointID) {
 	if slices.Equal(st.guestIDs, ids) {
 		return
 	}
 	for _, pid := range st.guestIDs {
-		p.holders.remove(pid, id)
+		p.holderRemove(ctx, scr, pid, id)
 	}
 	for _, pid := range ids {
-		p.holders.add(e, pid, id)
+		p.holderAdd(ctx, scr, pid, id)
 	}
 	st.guests = append(st.guests[:0], pts...)
 	st.guestIDs = append(st.guestIDs[:0], ids...)
@@ -582,11 +766,188 @@ func (p *Protocol) project(id sim.NodeID) {
 	st.posDirty = false
 }
 
+// --- sim.Batched ---
+
+// Batchable implements sim.Batched: the layer can run batched when its
+// overlay offers worker-slot queries and its failure detector declares
+// order-independent, race-free answers. Otherwise the engine keeps this
+// layer on the sequential path (lower layers may still batch).
+func (p *Protocol) Batchable() bool {
+	if p.wtopo == nil {
+		return false
+	}
+	ps, ok := p.cfg.Detector.(fd.ParallelSafe)
+	return ok && ps.ParallelSafe()
+}
+
+// PlanInvariant implements sim.PlanInvariant: a Polystyrene step's
+// selection reads only the position snapshot, the frozen overlay views,
+// the frozen detector answers and the initiator's own sampling view —
+// nothing another Polystyrene step mutates — so cached plans stay valid
+// for the whole pass and deferred steps are never re-planned.
+func (p *Protocol) PlanInvariant() bool { return true }
+
+// BeginBatchedRound implements sim.Batched: it sizes the per-worker
+// scratch (here and in the overlay below) and snapshots every node's
+// position. Migration and placement windows rank candidates by position;
+// serving those reads from a start-of-pass snapshot keeps rankings
+// identical no matter which projections have already run concurrently —
+// and therefore identical at every worker count.
+func (p *Protocol) BeginBatchedRound(e *sim.Engine, workers int) {
+	p.ensureWorkers(workers)
+	p.wtopo.EnsureWorkers(workers)
+	p.posSnap = p.posSnap[:0]
+	for _, st := range p.nodes {
+		p.posSnap = append(p.posSnap, st.pos)
+	}
+	p.snapOn = true
+}
+
+// PlanStep implements sim.Batched: it appends the step's conflict set —
+// {id} ∪ {backup targets surviving the prune} ∪ {targets the top-up will
+// pick} ∪ {the migration partner} — by mirroring the step's selection
+// sequence draw-for-draw on the throwaway stream, without mutating
+// anything. Holder-index updates touch no node state and are excluded by
+// design (they are deferred to FlushBatch).
+func (p *Protocol) PlanStep(e *sim.Engine, rng *xrand.Rand, id sim.NodeID, dst []sim.NodeID) []sim.NodeID {
+	dst = append(dst, id)
+	st := p.nodes[id]
+	// recover draws nothing and touches only id's own state, so it needs
+	// no mirror. Mirror backup's prune: surviving targets will all be
+	// pushed to.
+	base := len(dst)
+	for _, b := range st.backups {
+		if !p.cfg.Detector.Failed(e, id, b.node) {
+			dst = append(dst, b.node)
+		}
+	}
+	kept := len(dst) - base
+	if missing := p.cfg.K - kept; missing > 0 {
+		dst = p.planPickBackupTargets(e, rng, id, dst, base, missing)
+	}
+
+	// Mirror migrate's partner selection: ψ-window plus one random peer,
+	// live-filtered, uniform pick. The ranked window is handed to StepW
+	// through the per-node cache.
+	cand := p.planTopoNeighbors(p.plan.cand[:0], id, p.cfg.Psi)
+	p.psiCache.Put(id, cand)
+	if r := p.cfg.Sampler.PlanRandomPeer(e, rng, id); r != sim.None && r != id {
+		dup := false
+		for _, c := range cand {
+			if c == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			cand = append(cand, r)
+		}
+	}
+	live := cand[:0]
+	for _, c := range cand {
+		if e.Alive(c) {
+			live = append(live, c)
+		}
+	}
+	p.plan.cand = live
+	if len(live) > 0 {
+		dst = append(dst, live[rng.Intn(len(live))])
+	}
+	return dst
+}
+
+// planPickBackupTargets mirrors pickBackupTargets draw-for-draw against
+// unmutated state: dst[keptOff:] holds the pruned target list, and picked
+// targets append to dst.
+func (p *Protocol) planPickBackupTargets(e *sim.Engine, rng *xrand.Rand, id sim.NodeID, dst []sim.NodeID, keptOff, n int) []sim.NodeID {
+	exclude, gen := p.plan.nset.Next(e.NumNodes())
+	exclude[id] = gen
+	for _, b := range dst[keptOff:] {
+		exclude[b] = gen
+	}
+
+	var candidates []sim.NodeID
+	want := n + (len(dst) - keptOff) + 1
+	switch p.cfg.Placement {
+	case PlaceNeighbors:
+		candidates = p.planTopoNeighbors(p.plan.nbr[:0], id, want)
+	default:
+		candidates = p.cfg.Sampler.AppendPlanRandomPeers(p.plan.nbr[:0], e, rng, id, want)
+	}
+	p.plan.nbr = candidates
+
+	added := 0
+	for _, c := range candidates {
+		if added == n {
+			return dst
+		}
+		if exclude[c] != gen && e.Alive(c) {
+			exclude[c] = gen
+			dst = append(dst, c)
+			added++
+		}
+	}
+	for tries := 0; added < n && tries < 20*n; tries++ {
+		c := sim.None
+		if e.NumLive() > 0 {
+			c = e.LiveAt(rng.Intn(e.NumLive()))
+		}
+		if c != sim.None && exclude[c] != gen {
+			exclude[c] = gen
+			dst = append(dst, c)
+			added++
+		}
+	}
+	return dst
+}
+
+// planTopoNeighbors is topoAppendNeighbors for the matcher: the overlay
+// query over the provider's plan scratch.
+func (p *Protocol) planTopoNeighbors(dst []sim.NodeID, id sim.NodeID, k int) []sim.NodeID {
+	return p.wtopo.AppendNeighborsPlan(dst, id, k)
+}
+
+// FlushBatch implements sim.Batched: it applies every holder-index
+// mutation the batch's steps deferred, in step order — exactly the
+// sequence a sequential execution of the batch would have produced, so
+// the index contents are byte-identical at every worker count.
+func (p *Protocol) FlushBatch(e *sim.Engine) {
+	refs := p.flushBuf[:0]
+	for w, scr := range p.ws {
+		for _, so := range scr.steps {
+			refs = append(refs, flushRef{step: so.step, worker: int32(w), lo: so.lo, hi: so.hi})
+		}
+	}
+	slices.SortFunc(refs, func(a, b flushRef) int { return int(a.step) - int(b.step) })
+	for _, ref := range refs {
+		for _, op := range p.ws[ref.worker].ops[ref.lo:ref.hi] {
+			if op.add {
+				p.holders.add(e, op.pid, op.node)
+			} else {
+				p.holders.remove(op.pid, op.node)
+			}
+		}
+	}
+	p.flushBuf = refs[:0]
+	for _, scr := range p.ws {
+		scr.ops, scr.steps = scr.ops[:0], scr.steps[:0]
+	}
+}
+
+// EndBatchedRound implements sim.Batched, restoring live Position reads
+// before observers run.
+func (p *Protocol) EndBatchedRound(e *sim.Engine) { p.snapOn = false }
+
 // --- Accessors (used by the position func, metrics and tests) ---
 
 // Position returns the node's current virtual position. It is valid for
 // dead nodes too (their last position), which T-Man needs while purging.
+// During the layer's own batched pass it serves the start-of-pass
+// snapshot, so concurrent neighbour rankings are scheduling-independent.
 func (p *Protocol) Position(id sim.NodeID) space.Point {
+	if p.snapOn {
+		return p.posSnap[id]
+	}
 	return p.nodes[id].pos
 }
 

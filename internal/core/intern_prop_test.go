@@ -18,7 +18,9 @@ import (
 // oracleProtocol builds a bare Protocol wired to an interner, enough to
 // drive the pooled scratch helpers without a full stack.
 func oracleProtocol(in *space.Interner) *Protocol {
-	return &Protocol{cfg: Config{Interner: in}}
+	p := &Protocol{cfg: Config{Interner: in}}
+	p.ws = []*scratch{p.newScratch()}
+	return p
 }
 
 // randomSubset draws a random (unique, shuffled) subset of the universe,
@@ -46,7 +48,7 @@ func TestUnionIntoMatchesStringKeyOracle(t *testing.T) {
 		bPts, bIDs := randomSubset(rng, universe, ids)
 
 		wantPts := mergePoints(clonePoints(aPts), bPts)
-		gotPts, gotIDs := p.unionInto(clonePoints(aPts), append([]space.PointID{}, aIDs...), bPts, bIDs)
+		gotPts, gotIDs := p.unionInto(p.ws[0], clonePoints(aPts), append([]space.PointID{}, aIDs...), bPts, bIDs)
 
 		if len(gotPts) != len(wantPts) || len(gotIDs) != len(wantPts) {
 			t.Fatalf("trial %d: union size %d/%d, oracle %d", trial, len(gotPts), len(gotIDs), len(wantPts))
@@ -93,7 +95,7 @@ func TestPushDeltaMatchesStringKeyOracle(t *testing.T) {
 			}
 		}
 
-		mark, gen := p.pset.Next(in.Len())
+		mark, gen := p.ws[0].pset.Next(in.Len())
 		for _, pid := range curIDs {
 			mark[pid] = gen
 		}

@@ -12,9 +12,22 @@
 // eventually reported to every observer, so ghosts are always reactivated.
 // None produces false positives; the crash-stop model makes completeness
 // the interesting axis.
+//
+// Detectors are queried from inside protocol steps. Under the engine's
+// intra-round exchange batching (sim.Batched), steps of disjoint node
+// pairs run concurrently, so a detector consulted by a batched layer must
+// declare itself safe for that via ParallelSafe: its answers must be
+// deterministic regardless of query order within a round, and concurrent
+// queries must be race-free. Perfect (stateless) and Delayed (first-seen
+// round recording is idempotent within a round, guarded by a mutex)
+// qualify; Probabilistic does not — its answers consume a shared random
+// stream, so query order changes results — and the Polystyrene layer
+// falls back to sequential stepping when it is configured.
 package fd
 
 import (
+	"sync"
+
 	"polystyrene/internal/sim"
 	"polystyrene/internal/xrand"
 )
@@ -23,6 +36,14 @@ import (
 // observer's current knowledge, the target node has crashed.
 type Detector interface {
 	Failed(e *sim.Engine, observer, target sim.NodeID) bool
+}
+
+// ParallelSafe is the opt-in marker a Detector implements to allow the
+// layer consulting it to run under the engine's batch scheduler. It must
+// only return true when Failed is safe for concurrent calls and its
+// answers do not depend on the order of queries within a round.
+type ParallelSafe interface {
+	ParallelSafe() bool
 }
 
 // Perfect reports crashes immediately and accurately: it simply consults
@@ -36,6 +57,10 @@ func (Perfect) Failed(e *sim.Engine, _, target sim.NodeID) bool {
 	return !e.Alive(target)
 }
 
+// ParallelSafe implements the batching opt-in: ground-truth reads are
+// stateless.
+func (Perfect) ParallelSafe() bool { return true }
+
 // Delayed reports a crash only after it has been observable for Delay
 // rounds, modelling heartbeat timeouts. With Delay == 0 it behaves like
 // Perfect.
@@ -44,6 +69,11 @@ type Delayed struct {
 	// the detector reporting it.
 	Delay int
 
+	// mu guards deathRound: batched layers query concurrently. Whichever
+	// query observes a crash first records the current round — the same
+	// value any competing query would record — so answers stay
+	// deterministic at every worker count.
+	mu         sync.Mutex
 	deathRound map[sim.NodeID]int
 }
 
@@ -62,13 +92,18 @@ func (d *Delayed) Failed(e *sim.Engine, _, target sim.NodeID) bool {
 	if e.Alive(target) {
 		return false
 	}
+	d.mu.Lock()
 	first, ok := d.deathRound[target]
 	if !ok {
 		first = e.Round()
 		d.deathRound[target] = first
 	}
+	d.mu.Unlock()
 	return e.Round() >= first+d.Delay
 }
+
+// ParallelSafe implements the batching opt-in: see the mu field.
+func (d *Delayed) ParallelSafe() bool { return true }
 
 // Probabilistic lets every observer discover each crash independently: a
 // query against a crashed node succeeds with probability P, and once an

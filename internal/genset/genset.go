@@ -3,8 +3,10 @@
 // starting a fresh, empty set is O(1) (bump a generation counter), and
 // insert/lookup are single array accesses. T-Man's view merges and
 // Polystyrene's point-set unions, backup deltas and target exclusion all
-// pool one of these per protocol instance (the engine is sequential, so
-// instance-level scratch is safe — the same discipline as topk.Scratch).
+// pool one of these per worker slot (one slot per engine exchange worker,
+// slot 0 under the sequential engine — the same discipline as
+// topk.Scratch), and the engine's batch matcher uses one for the open
+// batch's claimed-node set.
 package genset
 
 // Set is a reusable membership set over dense non-negative IDs (NodeIDs,

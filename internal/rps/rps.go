@@ -13,13 +13,17 @@
 // charge the engine's cost meter.
 //
 // Views are small (tens of entries), so membership tests are linear scans
-// and per-exchange buffers are pooled on the protocol instance — a shuffle
-// performs no map operations and no steady-state allocations. The engine
-// is sequential, so one scratch set per protocol instance is safe.
+// and per-exchange buffers are pooled per worker slot — a shuffle performs
+// no map operations and no steady-state allocations. Under the sequential
+// engine only slot 0 is ever used; under intra-round exchange batching
+// (sim.Batched) each worker owns a slot, and the matcher plans on a
+// dedicated plan scratch. A shuffle's conflict set is {initiator, shuffle
+// partner}: Step reads and writes only those two views.
 package rps
 
 import (
 	"polystyrene/internal/sim"
+	"polystyrene/internal/xrand"
 )
 
 // DefaultViewSize is the Cyclon view size used when Config.ViewSize is 0.
@@ -56,28 +60,56 @@ type entry struct {
 	age int
 }
 
-// Protocol is the peer-sampling layer. It implements sim.Protocol.
-type Protocol struct {
-	cfg   Config
-	views [][]entry
-
-	// Reusable per-exchange scratch: candidate indices for sampling and
-	// the two in-flight message buffers (both live across a merge pair, so
-	// they need separate backing arrays).
+// scratch is the reusable per-exchange state of one worker slot:
+// candidate indices for sampling and the two in-flight message buffers
+// (both live across a merge pair, so they need separate backing arrays).
+type scratch struct {
 	idxBuf []int
 	bufA   []entry
 	bufB   []entry
 }
 
+// Protocol is the peer-sampling layer. It implements sim.Protocol and
+// sim.Batched.
+type Protocol struct {
+	cfg   Config
+	views [][]entry
+
+	// ws holds one scratch per worker slot (slot 0 is the sequential
+	// engine's); plan is the matcher's dedicated read-only-mirror scratch.
+	ws   []scratch
+	plan planScratch
+}
+
+// planScratch backs the non-mutating selection mirrors PlanStep and the
+// Plan* helpers run while the matcher forms batches (single-threaded).
+type planScratch struct {
+	peers []sim.NodeID
+	idx   []int
+}
+
 var _ sim.Protocol = (*Protocol)(nil)
+var _ sim.Batched = (*Protocol)(nil)
 
 // New returns a peer-sampling protocol with the given configuration.
 func New(cfg Config) *Protocol {
-	return &Protocol{cfg: cfg.withDefaults()}
+	return &Protocol{cfg: cfg.withDefaults(), ws: make([]scratch, 1)}
 }
 
 // Name implements sim.Protocol.
 func (p *Protocol) Name() string { return "rps" }
+
+// scr returns worker slot w's scratch. Slots are sized single-threaded in
+// BeginBatchedRound; out-of-range here would be an engine bug.
+func (p *Protocol) scr(w int) *scratch { return &p.ws[w] }
+
+// ensureWorkers grows the scratch-slot table to n slots (single-threaded:
+// called from BeginBatchedRound before any worker starts).
+func (p *Protocol) ensureWorkers(n int) {
+	for len(p.ws) < n {
+		p.ws = append(p.ws, scratch{})
+	}
+}
 
 // InitNode implements sim.Protocol: a joining node is bootstrapped with up
 // to ViewSize random live peers (this models the out-of-band introduction
@@ -86,15 +118,15 @@ func (p *Protocol) InitNode(e *sim.Engine, id sim.NodeID) {
 	for len(p.views) <= int(id) {
 		p.views = append(p.views, nil)
 	}
-	p.views[id] = p.bootstrapView(e, id)
+	p.views[id] = p.bootstrapView(e.SeqCtx(), id)
 }
 
-func (p *Protocol) bootstrapView(e *sim.Engine, id sim.NodeID) []entry {
+func (p *Protocol) bootstrapView(ctx *sim.StepCtx, id sim.NodeID) []entry {
 	view := make([]entry, 0, p.cfg.ViewSize)
 	// Sample without replacement from the live set via rejection; the
 	// join-time live set is usually much larger than the view.
 	for attempts := 0; len(view) < p.cfg.ViewSize && attempts < 20*p.cfg.ViewSize; attempts++ {
-		peer := e.RandomLive()
+		peer := ctx.RandomLive()
 		if peer == sim.None || peer == id || viewContains(view, peer) {
 			continue
 		}
@@ -116,10 +148,18 @@ func viewContains(view []entry, id sim.NodeID) bool {
 
 // Step implements sim.Protocol: one Cyclon shuffle initiated by id.
 func (p *Protocol) Step(e *sim.Engine, id sim.NodeID) {
+	p.StepW(e.SeqCtx(), id)
+}
+
+// StepW implements sim.Batched: the shuffle under an explicit step
+// context (the sequential Step routes through it with the engine's
+// shared context, byte-identically).
+func (p *Protocol) StepW(ctx *sim.StepCtx, id sim.NodeID) {
+	e := ctx.Engine()
 	p.purgeDead(e, id)
 	view := p.views[id]
 	if len(view) == 0 {
-		p.views[id] = p.bootstrapView(e, id)
+		p.views[id] = p.bootstrapView(ctx, id)
 		view = p.views[id]
 		if len(view) == 0 {
 			return // alone in the system
@@ -143,12 +183,14 @@ func (p *Protocol) Step(e *sim.Engine, id sim.NodeID) {
 	if !e.Alive(q) {
 		return
 	}
+	ctx.Touch(q)
 
+	scr := p.scr(ctx.Worker())
 	p.purgeDead(e, q)
-	sentToQ := p.sampleForShuffle(e, id, q, p.cfg.ShuffleLen-1, &p.bufA)
+	sentToQ := p.sampleForShuffle(ctx, scr, id, q, p.cfg.ShuffleLen-1, &scr.bufA)
 	sentToQ = append(sentToQ, entry{id: id, age: 0}) // fresh self-descriptor
-	p.bufA = sentToQ
-	sentToP := p.sampleForShuffle(e, q, id, p.cfg.ShuffleLen, &p.bufB)
+	scr.bufA = sentToQ
+	sentToP := p.sampleForShuffle(ctx, scr, q, id, p.cfg.ShuffleLen, &scr.bufB)
 
 	p.merge(id, sentToP, sentToQ)
 	p.merge(q, sentToQ, sentToP)
@@ -156,22 +198,22 @@ func (p *Protocol) Step(e *sim.Engine, id sim.NodeID) {
 
 // sampleForShuffle picks up to n random entries from owner's view,
 // excluding peer itself, into the pooled buffer buf.
-func (p *Protocol) sampleForShuffle(e *sim.Engine, owner, peer sim.NodeID, n int, buf *[]entry) []entry {
+func (p *Protocol) sampleForShuffle(ctx *sim.StepCtx, scr *scratch, owner, peer sim.NodeID, n int, buf *[]entry) []entry {
 	view := p.views[owner]
-	cand := p.idxBuf[:0]
+	cand := scr.idxBuf[:0]
 	for i, en := range view {
 		if en.id != peer {
 			cand = append(cand, i)
 		}
 	}
-	p.idxBuf = cand
+	scr.idxBuf = cand
 	if n > len(cand) {
 		n = len(cand)
 	}
 	// Partial Fisher-Yates over the candidate indices: the first n slots
 	// become a uniform sample without replacement.
 	out := (*buf)[:0]
-	rng := e.Rand()
+	rng := ctx.Rand()
 	for i := 0; i < n; i++ {
 		j := i + rng.Intn(len(cand)-i)
 		cand[i], cand[j] = cand[j], cand[i]
@@ -224,6 +266,77 @@ func (p *Protocol) purgeDead(e *sim.Engine, id sim.NodeID) {
 	p.views[id] = kept
 }
 
+// --- sim.Batched ---
+
+// Batchable implements sim.Batched: shuffles are always pair-local.
+func (p *Protocol) Batchable() bool { return true }
+
+// BeginBatchedRound implements sim.Batched, sizing per-worker scratch.
+func (p *Protocol) BeginBatchedRound(e *sim.Engine, workers int) {
+	p.ensureWorkers(workers)
+}
+
+// PlanStep implements sim.Batched: it predicts the shuffle partner of
+// StepW(id) — the oldest live view entry, or the head of the bootstrap
+// view a node with no live links would draw — without mutating anything,
+// and appends {id, partner} (or just {id} for a no-op step) to dst.
+func (p *Protocol) PlanStep(e *sim.Engine, rng *xrand.Rand, id sim.NodeID, dst []sim.NodeID) []sim.NodeID {
+	dst = append(dst, id)
+	// Mirror of purge + age + argmax: purging preserves order and ageing
+	// is uniform, so the partner is the first strictly-oldest live entry.
+	q, bestAge, found := sim.None, 0, false
+	for _, en := range p.views[id] {
+		if e.Alive(en.id) && (!found || en.age > bestAge) {
+			q, bestAge, found = en.id, en.age, true
+		}
+	}
+	if !found {
+		// Mirror of bootstrapView: replicate its rejection sampling
+		// draw-for-draw on the throwaway stream; the bootstrapped view's
+		// entries all carry age 0, so the partner is its first entry.
+		sv := p.plan.peers[:0]
+		for attempts := 0; len(sv) < p.cfg.ViewSize && attempts < 20*p.cfg.ViewSize; attempts++ {
+			peer := planRandomLive(e, rng)
+			if peer == sim.None || peer == id || idsContain(sv, peer) {
+				continue
+			}
+			sv = append(sv, peer)
+		}
+		p.plan.peers = sv
+		if len(sv) == 0 {
+			return dst // alone in the system: StepW is a no-op
+		}
+		q = sv[0]
+	}
+	return append(dst, q)
+}
+
+// FlushBatch implements sim.Batched (the shuffle defers nothing).
+func (p *Protocol) FlushBatch(e *sim.Engine) {}
+
+// EndBatchedRound implements sim.Batched.
+func (p *Protocol) EndBatchedRound(e *sim.Engine) {}
+
+// planRandomLive is StepCtx.RandomLive against an explicit stream, for
+// plan mirrors.
+func planRandomLive(e *sim.Engine, rng *xrand.Rand) sim.NodeID {
+	if e.NumLive() == 0 {
+		return sim.None
+	}
+	return e.LiveAt(rng.Intn(e.NumLive()))
+}
+
+func idsContain(ids []sim.NodeID, id sim.NodeID) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// --- queries used by the layers above ---
+
 // View returns a copy of id's current view (live and stale entries alike).
 func (p *Protocol) View(id sim.NodeID) []sim.NodeID {
 	view := p.views[id]
@@ -238,35 +351,111 @@ func (p *Protocol) View(id sim.NodeID) []sim.NodeID {
 // sim.None when the view holds no live peer. Layers above use this as
 // their source of fresh random nodes.
 func (p *Protocol) RandomPeer(e *sim.Engine, id sim.NodeID) sim.NodeID {
-	p.purgeDead(e, id)
+	return p.RandomPeerW(e.SeqCtx(), id)
+}
+
+// RandomPeerW is RandomPeer under an explicit step context: the drawing
+// stream comes from the context, as do the caller's scratch slots.
+func (p *Protocol) RandomPeerW(ctx *sim.StepCtx, id sim.NodeID) sim.NodeID {
+	p.purgeDead(ctx.Engine(), id)
 	view := p.views[id]
 	if len(view) == 0 {
 		return sim.None
 	}
-	return view[e.Rand().Intn(len(view))].id
+	return view[ctx.Rand().Intn(len(view))].id
 }
 
-// RandomPeers returns up to n distinct live peers from id's view.
+// PlanRandomPeer predicts what RandomPeerW(ctx, id) will return for a
+// context whose stream is (a copy of) rng, without mutating the view —
+// the selection mirror the batch matcher uses. Exactly one Intn is drawn
+// iff the view holds a live peer, matching RandomPeerW draw-for-draw.
+func (p *Protocol) PlanRandomPeer(e *sim.Engine, rng *xrand.Rand, id sim.NodeID) sim.NodeID {
+	live := p.plan.peers[:0]
+	for _, en := range p.views[id] {
+		if e.Alive(en.id) {
+			live = append(live, en.id)
+		}
+	}
+	p.plan.peers = live
+	if len(live) == 0 {
+		return sim.None
+	}
+	return live[rng.Intn(len(live))]
+}
+
+// RandomPeers returns up to n distinct live peers from id's view as a
+// fresh slice. Hot paths use AppendRandomPeers, which does not allocate.
 func (p *Protocol) RandomPeers(e *sim.Engine, id sim.NodeID, n int) []sim.NodeID {
-	p.purgeDead(e, id)
+	if n <= 0 {
+		return nil
+	}
+	out := p.AppendRandomPeers(make([]sim.NodeID, 0, n), e, id, n)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// AppendRandomPeers appends up to n distinct live peers from id's view to
+// dst and returns the extended slice — the allocation-free variant of
+// RandomPeers for callers with a reusable buffer (backup top-up, view
+// re-seeding). The draw sequence is identical to RandomPeers'.
+func (p *Protocol) AppendRandomPeers(dst []sim.NodeID, e *sim.Engine, id sim.NodeID, n int) []sim.NodeID {
+	return p.AppendRandomPeersW(e.SeqCtx(), dst, id, n)
+}
+
+// AppendRandomPeersW is AppendRandomPeers under an explicit step context.
+func (p *Protocol) AppendRandomPeersW(ctx *sim.StepCtx, dst []sim.NodeID, id sim.NodeID, n int) []sim.NodeID {
+	p.purgeDead(ctx.Engine(), id)
 	view := p.views[id]
 	if n > len(view) {
 		n = len(view)
 	}
 	if n <= 0 {
-		return nil
+		return dst
 	}
-	cand := p.idxBuf[:0]
+	scr := p.scr(ctx.Worker())
+	cand := scr.idxBuf[:0]
 	for i := range view {
 		cand = append(cand, i)
 	}
-	p.idxBuf = cand
-	out := make([]sim.NodeID, 0, n)
-	rng := e.Rand()
+	scr.idxBuf = cand
+	rng := ctx.Rand()
 	for i := 0; i < n; i++ {
 		j := i + rng.Intn(len(cand)-i)
 		cand[i], cand[j] = cand[j], cand[i]
-		out = append(out, view[cand[i]].id)
+		dst = append(dst, view[cand[i]].id)
 	}
-	return out
+	return dst
+}
+
+// AppendPlanRandomPeers predicts what AppendRandomPeersW(ctx, dst, id, n)
+// will append for a context whose stream is (a copy of) rng, without
+// mutating the view — draw-for-draw identical to the real call, over the
+// plan scratch.
+func (p *Protocol) AppendPlanRandomPeers(dst []sim.NodeID, e *sim.Engine, rng *xrand.Rand, id sim.NodeID, n int) []sim.NodeID {
+	live := p.plan.peers[:0]
+	for _, en := range p.views[id] {
+		if e.Alive(en.id) {
+			live = append(live, en.id)
+		}
+	}
+	p.plan.peers = live
+	if n > len(live) {
+		n = len(live)
+	}
+	if n <= 0 {
+		return dst
+	}
+	cand := p.plan.idx[:0]
+	for i := range live {
+		cand = append(cand, i)
+	}
+	p.plan.idx = cand
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(len(cand)-i)
+		cand[i], cand[j] = cand[j], cand[i]
+		dst = append(dst, live[cand[i]])
+	}
+	return dst
 }

@@ -6,6 +6,13 @@
 // Determinism is preserved by construction: each job writes only to its
 // own index of a pre-sized result slice, and callers fold results in index
 // order, so the output is identical regardless of scheduling.
+//
+// Jobs may themselves be internally parallel (engines running intra-round
+// exchange batching, sim.SetExchangeParallelism); ComposeBudget splits one
+// machine-wide worker budget between the two levels so a sweep does not
+// oversubscribe the cores. The split never affects results: cell-level
+// results fold in index order, and exchange results are byte-identical at
+// every worker count >= 1.
 package runner
 
 import (
@@ -13,6 +20,39 @@ import (
 	"runtime"
 	"sync"
 )
+
+// ComposeBudget splits a total worker budget between concurrently running
+// jobs and per-job exchange workers. budget <= 0 means GOMAXPROCS.
+// exchangeCap is the per-job ceiling the caller asked for: 0 disables
+// intra-round parallelism entirely (perJob = 0, the legacy sequential
+// engine — a semantically different trajectory, so it is never enabled
+// implicitly). Otherwise jobs are fanned out first — outer parallelism
+// scales with no coordination cost — and leftover budget is spent inside
+// each job, bounded by exchangeCap: perJob = min(exchangeCap,
+// max(1, budget/jobs)).
+func ComposeBudget(budget, jobs, exchangeCap int) (parallelism, perJob int) {
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	parallelism = budget
+	if parallelism > jobs {
+		parallelism = jobs
+	}
+	if exchangeCap <= 0 {
+		return parallelism, 0
+	}
+	perJob = budget / parallelism
+	if perJob < 1 {
+		perJob = 1
+	}
+	if perJob > exchangeCap {
+		perJob = exchangeCap
+	}
+	return parallelism, perJob
+}
 
 // Map runs fn(0), ..., fn(n-1) using at most parallelism concurrent
 // goroutines (0 means GOMAXPROCS) and waits for all of them. All jobs are

@@ -103,3 +103,32 @@ func TestMapSequentialDeterministicFold(t *testing.T) {
 		t.Fatalf("sum = %d", sum)
 	}
 }
+
+func TestComposeBudget(t *testing.T) {
+	cases := []struct {
+		budget, jobs, exchangeCap int
+		wantPar, wantPerJob       int
+	}{
+		// exchangeCap 0 disables intra-round workers entirely.
+		{budget: 8, jobs: 4, exchangeCap: 0, wantPar: 4, wantPerJob: 0},
+		{budget: 2, jobs: 10, exchangeCap: 0, wantPar: 2, wantPerJob: 0},
+		// Jobs fan out first; leftover budget goes inside each job.
+		{budget: 8, jobs: 2, exchangeCap: 16, wantPar: 2, wantPerJob: 4},
+		{budget: 8, jobs: 2, exchangeCap: 3, wantPar: 2, wantPerJob: 3},
+		// More jobs than budget: every running job still gets one worker.
+		{budget: 4, jobs: 100, exchangeCap: 8, wantPar: 4, wantPerJob: 1},
+		// A requested cap always yields at least one worker per job.
+		{budget: 1, jobs: 1, exchangeCap: 8, wantPar: 1, wantPerJob: 1},
+	}
+	for _, c := range cases {
+		par, perJob := ComposeBudget(c.budget, c.jobs, c.exchangeCap)
+		if par != c.wantPar || perJob != c.wantPerJob {
+			t.Errorf("ComposeBudget(%d, %d, %d) = (%d, %d), want (%d, %d)",
+				c.budget, c.jobs, c.exchangeCap, par, perJob, c.wantPar, c.wantPerJob)
+		}
+	}
+	// budget <= 0 means GOMAXPROCS: never zero concurrent jobs.
+	if par, _ := ComposeBudget(0, 3, 0); par < 1 {
+		t.Fatalf("default budget produced parallelism %d", par)
+	}
+}

@@ -1,6 +1,9 @@
 package scenario
 
 import (
+	"fmt"
+	"runtime"
+	"slices"
 	"testing"
 
 	"polystyrene/internal/metrics"
@@ -106,6 +109,34 @@ func BenchmarkProximityRound(b *testing.B) {
 		}
 		_ = sink
 	})
+}
+
+// BenchmarkParallelRound measures one steady-state full-stack round
+// (RPS + T-Man + Polystyrene) at the paper's largest configuration —
+// 51,200 nodes on the 320x160 torus — across intra-round exchange worker
+// counts. w=0 is the legacy sequential engine; w>=1 runs the batched
+// scheduler (same physics, byte-identical across every w>=1), so the
+// variants expose both the scheduler's constant overhead (w=1 vs w=0:
+// planning and batching are sequential work on top of stepping) and its
+// scaling (w=2..GOMAXPROCS). Tracked in BENCH_4.json via scripts/bench.sh.
+func BenchmarkParallelRound(b *testing.B) {
+	const convergeRounds = 5
+	counts := []int{0, 1, 2, 4}
+	if gm := runtime.GOMAXPROCS(0); !slices.Contains(counts, gm) {
+		counts = append(counts, gm)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			sc := MustNew(Config{
+				Seed: 5, W: 320, H: 160, Polystyrene: true, K: 4,
+				SkipMetrics: true, ExchangeParallelism: w,
+			})
+			sc.Run(convergeRounds)
+			b.ReportAllocs()
+			b.ResetTimer()
+			sc.Run(b.N)
+		})
+	}
 }
 
 // BenchmarkMeasureReshaping measures the full-stack reshaping experiment

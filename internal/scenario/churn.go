@@ -84,6 +84,9 @@ type ChurnSweepOpts struct {
 	SettleRounds int
 	// Parallelism bounds concurrent rates: 0 means GOMAXPROCS, 1 serial.
 	Parallelism int
+	// ExchangeParallelism caps per-rate intra-round exchange workers; see
+	// RunOpts.ExchangeParallelism (0 keeps the sequential engine).
+	ExchangeParallelism int
 }
 
 // ChurnSweep measures shape survival across churn rates, one outcome per
@@ -92,10 +95,12 @@ type ChurnSweepOpts struct {
 // rate's index, so the output is deterministic regardless of scheduling.
 func ChurnSweep(base Config, rates []float64, opts ChurnSweepOpts) ([]ChurnOutcome, error) {
 	outs := make([]ChurnOutcome, len(rates))
-	err := runner.Map(opts.Parallelism, len(rates), func(i int) error {
+	cellPar, exPar := runner.ComposeBudget(opts.Parallelism, len(rates), opts.ExchangeParallelism)
+	err := runner.Map(cellPar, len(rates), func(i int) error {
 		cfg := base
 		cfg.Seed = base.Seed + uint64(i)
 		cfg.Polystyrene = true
+		cfg.ExchangeParallelism = exPar
 		out, err := RunChurn(cfg,
 			ChurnConfig{Rate: rates[i], Replace: true, Rounds: opts.ChurnRounds},
 			opts.ConvergeRounds, opts.SettleRounds)

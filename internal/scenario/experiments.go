@@ -100,6 +100,20 @@ type RunOpts struct {
 	// GOMAXPROCS, 1 runs serially. Results are identical at every level —
 	// each cell owns its engine and PRNG, and results fold in index order.
 	Parallelism int
+	// ExchangeParallelism caps the per-cell intra-round exchange workers.
+	// 0 (the default) keeps cells on the legacy sequential engine; any
+	// value >= 1 switches cells to the batched engine, whose results are
+	// byte-identical at every worker count >= 1. The harness composes the
+	// two levels under one budget (runner.ComposeBudget): cells fan out
+	// first, leftover cores go to exchange workers up to this cap, so the
+	// actual per-cell worker count never changes results.
+	ExchangeParallelism int
+}
+
+// compose splits the machine budget between concurrent cells and per-cell
+// exchange workers for a harness about to run `jobs` cells.
+func (o RunOpts) compose(jobs int) (cellPar, exPar int) {
+	return runner.ComposeBudget(o.Parallelism, jobs, o.ExchangeParallelism)
 }
 
 // TableIIRow aggregates repeated reshaping measurements for one K.
@@ -118,12 +132,14 @@ type TableIIRow struct {
 func TableII(base Config, ks []int, opts RunOpts) ([]TableIIRow, error) {
 	rows := make([]TableIIRow, len(ks))
 	outcomes := make([]ReshapingOutcome, len(ks)*opts.Reps)
-	err := runner.Map(opts.Parallelism, len(outcomes), func(job int) error {
+	cellPar, exPar := opts.compose(len(outcomes))
+	err := runner.Map(cellPar, len(outcomes), func(job int) error {
 		k := ks[job/opts.Reps]
 		rep := job % opts.Reps
 		cfg := base
 		cfg.Polystyrene = true
 		cfg.K = k
+		cfg.ExchangeParallelism = exPar
 		cfg.Seed = base.Seed + uint64(1000*k+rep)
 		out, err := MeasureReshaping(cfg, opts.ConvergeRounds, opts.MaxRounds)
 		if err != nil {
@@ -203,11 +219,13 @@ func SizeSweep(base Config, sizes []GridSize, variants map[string]func(Config) C
 	}
 
 	rounds := make([]float64, len(cells))
-	err := runner.Map(opts.Parallelism, len(cells), func(i int) error {
+	cellPar, exPar := opts.compose(len(cells))
+	err := runner.Map(cellPar, len(cells), func(i int) error {
 		c := cells[i]
 		cfg := variants[c.label](base)
 		cfg.Polystyrene = true
 		cfg.W, cfg.H = c.size.W, c.size.H
+		cfg.ExchangeParallelism = exPar
 		cfg.Seed = base.Seed + uint64(c.size.W*c.size.H+c.rep)
 		res, err := MeasureReshaping(cfg, opts.ConvergeRounds, opts.MaxRounds)
 		if err != nil {

@@ -1,0 +1,145 @@
+package scenario
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"polystyrene/internal/fd"
+	"polystyrene/internal/xrand"
+)
+
+// paperRun executes a compressed 3-phase paper scenario and returns its
+// full per-round metric record plus the final reliability.
+func paperRun(t *testing.T, cfg Config) (*Result, float64) {
+	t.Helper()
+	sc, res, err := RunPaper(cfg, Phases{FailAt: 8, ReinjectAt: 20, End: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, sc.Reliability()
+}
+
+// TestExchangeParallelismByteIdentical pins the tentpole's determinism
+// contract at the full-stack level: with intra-round exchange batching
+// enabled, every per-round metric series — homogeneity, proximity, data
+// points, message cost, liveness — is byte-identical across worker counts
+// {1, 2, GOMAXPROCS}, through convergence, the half-torus catastrophe and
+// reinjection, for both overlay hosts, the baseline, a delayed failure
+// detector and the full-copy backup ablation.
+func TestExchangeParallelismByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack exchange-parallel identity run; exercised by CI's dedicated race step")
+	}
+	cases := map[string]Config{
+		"poly-tman":     {Seed: 42, W: 20, H: 10, Polystyrene: true},
+		"poly-vicinity": {Seed: 42, W: 20, H: 10, Polystyrene: true, Overlay: "vicinity"},
+		"baseline-tman": {Seed: 42, W: 20, H: 10},
+		"delayed-fd":    {Seed: 43, W: 20, H: 10, Polystyrene: true, Detector: fd.NewDelayed(2)},
+		"full-copy":     {Seed: 44, W: 16, H: 8, Polystyrene: true, FullCopyBackup: true, K: 2},
+	}
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	for name, base := range cases {
+		t.Run(name, func(t *testing.T) {
+			if name == "delayed-fd" {
+				// The delayed detector records first-seen rounds; give each
+				// worker count a fresh instance so runs stay independent.
+				base.Detector = nil
+			}
+			var refRes *Result
+			var refRel float64
+			for _, workers := range workerCounts {
+				cfg := base
+				cfg.ExchangeParallelism = workers
+				if name == "delayed-fd" {
+					cfg.Detector = fd.NewDelayed(2)
+				}
+				res, rel := paperRun(t, cfg)
+				if refRes == nil {
+					refRes, refRel = res, rel
+					continue
+				}
+				if !reflect.DeepEqual(res, refRes) {
+					t.Fatalf("workers=%d: metric record diverged from workers=%d", workers, workerCounts[0])
+				}
+				if rel != refRel {
+					t.Fatalf("workers=%d: reliability %v, want %v", workers, rel, refRel)
+				}
+			}
+		})
+	}
+}
+
+// TestExchangeParallelismDetectorFallback pins the graceful degradation
+// path: a failure detector that is not fd.ParallelSafe (Probabilistic
+// consumes a shared stream, so query order matters) keeps the Polystyrene
+// layer on the sequential path while the layers below still batch — and
+// results remain byte-identical across worker counts, because the
+// sequential fallback draws from the engine stream whose position does
+// not depend on the worker count.
+func TestExchangeParallelismDetectorFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack exchange-parallel identity run; exercised by CI's dedicated race step")
+	}
+	run := func(workers int) (*Result, float64) {
+		cfg := Config{
+			Seed: 9, W: 16, H: 8, Polystyrene: true,
+			Detector:            fd.NewProbabilistic(0.5, xrand.New(77)),
+			ExchangeParallelism: workers,
+		}
+		return paperRun(t, cfg)
+	}
+	refRes, refRel := run(1)
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+		res, rel := run(workers)
+		if !reflect.DeepEqual(res, refRes) || rel != refRel {
+			t.Fatalf("workers=%d diverged under the sequential-core fallback", workers)
+		}
+	}
+}
+
+// TestExchangeParallelismChangesTrajectory documents that batching is a
+// *different* deterministic trajectory, not a re-ordering of the
+// sequential one: pre-splitting per-step streams necessarily changes the
+// draw sequence, which is why the engine keeps it opt-in (and why the
+// golden sequential tests are untouched by this feature).
+func TestExchangeParallelismChangesTrajectory(t *testing.T) {
+	seqRes, _ := paperRun(t, Config{Seed: 42, W: 20, H: 10, Polystyrene: true})
+	batRes, _ := paperRun(t, Config{Seed: 42, W: 20, H: 10, Polystyrene: true, ExchangeParallelism: 1})
+	if reflect.DeepEqual(seqRes, batRes) {
+		t.Fatal("batched trajectory reproduced the sequential one exactly; the pre-split stream discipline is not in effect")
+	}
+	// Both must converge to a recovered shape, though: same physics,
+	// different dice.
+	last := len(seqRes.Homogeneity) - 1
+	if seqRes.LiveNodes[last] != batRes.LiveNodes[last] {
+		t.Fatalf("liveness diverged: %d vs %d", seqRes.LiveNodes[last], batRes.LiveNodes[last])
+	}
+}
+
+// TestRunOptsComposeExchangeParallelism pins that the sweep harnesses
+// give byte-identical output whether cells run sequential engines, or
+// batched engines at any composed budget — the property that lets the
+// CLI expose -exchange-parallel as a pure throughput knob.
+func TestRunOptsComposeExchangeParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack exchange-parallel identity run; exercised by CI's dedicated race step")
+	}
+	base := Config{Seed: 7, W: 16, H: 8}
+	run := func(par, exchange int) []TableIIRow {
+		rows, err := TableII(base, []int{2}, RunOpts{
+			Reps: 2, ConvergeRounds: 8, MaxRounds: 30,
+			Parallelism: par, ExchangeParallelism: exchange,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	ref := run(1, 1)
+	for _, c := range [][2]int{{2, 1}, {1, 4}, {4, 2}} {
+		if rows := run(c[0], c[1]); !reflect.DeepEqual(rows, ref) {
+			t.Fatalf("TableII(parallel=%d, exchange=%d) diverged from the reference composition", c[0], c[1])
+		}
+	}
+}

@@ -63,6 +63,12 @@ type Config struct {
 	// SkipMetrics disables per-round metric collection (for sweeps that
 	// only need the final state or reshaping time).
 	SkipMetrics bool
+	// ExchangeParallelism, when >= 1, runs rounds under the engine's
+	// intra-round exchange batching with that many workers. Results are
+	// byte-identical for every value >= 1 (worker count is a throughput
+	// knob only); 0 keeps the legacy sequential engine, whose trajectory
+	// differs. See sim.SetExchangeParallelism.
+	ExchangeParallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -194,6 +200,7 @@ func New(cfg Config) (*Scenario, error) {
 	}
 
 	sc.Engine = sim.New(cfg.Seed, layers...)
+	sc.Engine.SetExchangeParallelism(cfg.ExchangeParallelism)
 	if !cfg.SkipMetrics {
 		sc.Engine.Observe(sc.record)
 	}

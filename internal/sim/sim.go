@@ -7,10 +7,18 @@
 // layer spends, using the paper's unit model (1 node ID = 1 coordinate = 1
 // unit).
 //
-// The engine is deliberately sequential: gossip exchanges are pair-wise
+// The engine is sequential by default: gossip exchanges are pair-wise
 // atomic by construction ("q should not be interacting with anyone else
 // than p while the exchange occurs", Sec. III-F), and sequential execution
-// with a seeded PRNG makes every experiment exactly reproducible.
+// with a seeded PRNG makes every experiment exactly reproducible. Because
+// exchanges are pair-atomic, steps touching disjoint node sets commute,
+// and SetExchangeParallelism opts a run into intra-round batching: a
+// deterministic greedy matcher partitions each round's shuffled step order
+// into batches of node-disjoint exchanges that execute across a bounded
+// worker pool (see parallel.go). Same-seed results are then byte-identical
+// at every worker count, though the batched trajectory differs from the
+// sequential one (per-step randomness is pre-split instead of drawn from
+// one shared stream).
 //
 // The engine is built for full-paper-scale (51,200-node) sweeps: the live
 // population is tracked in a dense swap-remove set so RandomLive is O(1)
@@ -81,6 +89,16 @@ type Engine struct {
 	layerLedger []int
 	// order is the per-round step-order buffer, reused across rounds.
 	order []NodeID
+
+	// exWorkers is the intra-round exchange worker count (0 = sequential),
+	// wctx the per-worker step contexts, bs the pooled batch-scheduling
+	// scratch and seqCtx the shared context of sequential steps (its
+	// stream is the engine generator itself, so routing the sequential
+	// path through StepCtx changes nothing observable).
+	exWorkers int
+	wctx      []*StepCtx
+	bs        batchState
+	seqCtx    *StepCtx
 }
 
 // New returns an engine seeded with seed and running the given layers,
@@ -97,8 +115,18 @@ func New(seed uint64, layers ...Protocol) *Engine {
 	for i, l := range layers {
 		e.layerLedger[i] = e.meter.ledgerIndex(l.Name())
 	}
+	e.seqCtx = &StepCtx{e: e, rng: e.rng}
+	// Slot 0 doubles as the inline-execution context when a batched pass
+	// degenerates to a single worker.
+	e.wctx = []*StepCtx{{e: e, rng: xrand.New(0), batched: true}}
 	return e
 }
+
+// SeqCtx returns the engine's sequential step context: worker slot 0,
+// randomness drawn straight from the engine generator, charges applied
+// immediately. Protocol code written once against StepCtx runs the legacy
+// sequential semantics byte-identically through it.
+func (e *Engine) SeqCtx() *StepCtx { return e.seqCtx }
 
 // Rand exposes the engine's deterministic random source. Protocols should
 // draw all randomness from it (or from generators Split from it) so that a
@@ -185,6 +213,12 @@ func (e *Engine) AppendLiveIDs(dst []NodeID) []NodeID {
 	return dst
 }
 
+// LiveAt returns the i-th entry of the dense (unordered) live set,
+// 0 <= i < NumLive(). It exposes the exact indexing RandomLive and
+// StepCtx.RandomLive draw against, so batch-plan mirrors can replicate a
+// draw without consuming the engine stream.
+func (e *Engine) LiveAt(i int) NodeID { return e.live[i] }
+
 // RandomLive returns a uniformly random live node, or None when the system
 // is empty. It is O(1) regardless of how many nodes have died.
 func (e *Engine) RandomLive() NodeID {
@@ -261,9 +295,13 @@ func (e *Engine) runOne() {
 
 	for i, layer := range e.layers {
 		e.curLayer = e.layerLedger[i]
-		for _, id := range e.order {
-			if e.alive[id] {
-				layer.Step(e, id)
+		if bp, ok := layer.(Batched); ok && e.exWorkers > 0 && bp.Batchable() {
+			e.runBatched(bp)
+		} else {
+			for _, id := range e.order {
+				if e.alive[id] {
+					layer.Step(e, id)
+				}
 			}
 		}
 		e.curLayer = -1

@@ -140,7 +140,7 @@ func TestScratchTrimAfterCatastrophe(t *testing.T) {
 	n := newTestNet(t, 7, tor, pts, Config{})
 	n.engine.RunRounds(10)
 
-	before := n.tman.sel.Cap()
+	before := n.tman.ws[0].sel.Cap()
 	if before < DefaultViewCap {
 		t.Fatalf("scratch capacity %d before the kill, expected at least the view cap", before)
 	}
@@ -156,11 +156,11 @@ func TestScratchTrimAfterCatastrophe(t *testing.T) {
 	rounds := scratchTrimInterval/live + 10
 	n.engine.RunRounds(rounds)
 
-	if after := n.tman.sel.Cap(); after >= before || after > scratchTrimSlack*live {
+	if after := n.tman.ws[0].sel.Cap(); after >= before || after > scratchTrimSlack*live {
 		t.Fatalf("selection scratch capacity %d after trim (was %d, %d live nodes)",
 			after, before, live)
 	}
-	if c := cap(n.tman.candBuf); c > scratchTrimSlack*live {
+	if c := cap(n.tman.ws[0].candBuf); c > scratchTrimSlack*live {
 		t.Fatalf("candidate buffer capacity %d not trimmed for %d live nodes", c, live)
 	}
 	for _, id := range n.engine.LiveIDs() {

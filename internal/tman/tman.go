@@ -23,10 +23,15 @@
 //
 // Ranking view entries by distance is the hottest code path of the whole
 // simulator, so selections go through topk.SmallestK (partial selection,
-// no comparator closures) over scratch buffers pooled on the protocol
-// instance, and set-membership during merges uses a generation-stamped
-// array indexed by the engine's dense NodeIDs. The engine is sequential,
-// so instance-level scratch is safe.
+// no comparator closures) over scratch buffers pooled per worker slot,
+// and set-membership during merges uses a generation-stamped array
+// indexed by the engine's dense NodeIDs. The sequential engine only ever
+// uses slot 0; under intra-round exchange batching (sim.Batched) each
+// worker owns a slot and the batch matcher plans on a dedicated mirror
+// scratch. An exchange's conflict set is {initiator, partner}: Step reads
+// and writes only those two views (it reads the *positions* of ranked
+// candidates too, but positions are frozen during a T-Man pass, and the
+// Polystyrene layer above snapshots them for its own pass).
 //
 // Neighbour queries are exposed through the allocation-free two-form API
 // of core.Topology — AppendNeighbors (caller-owned buffer) and
@@ -45,6 +50,7 @@ import (
 	"polystyrene/internal/sim"
 	"polystyrene/internal/space"
 	"polystyrene/internal/topk"
+	"polystyrene/internal/xrand"
 )
 
 // Defaults from the paper's experimental setting (Sec. IV-A).
@@ -109,23 +115,19 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
-// Pooled-scratch trimming parameters: every scratchTrimInterval steps the
-// protocol compares pooled buffer capacities against scratchTrimSlack
-// times the high-water candidate size of the elapsed window and releases
-// buffers above it. A 50%-failure round balloons merge candidate sets for
-// a few rounds; without the trim those transients would pin worst-case
-// capacity for the remainder of a run.
+// Pooled-scratch trimming parameters: every scratchTrimInterval steps a
+// worker slot compares its pooled buffer capacities against
+// scratchTrimSlack times the high-water candidate size of the elapsed
+// window and releases buffers above it. A 50%-failure round balloons merge
+// candidate sets for a few rounds; without the trim those transients would
+// pin worst-case capacity for the remainder of a run.
 const (
 	scratchTrimInterval = 4096
 	scratchTrimSlack    = 2
 )
 
-// Protocol is the T-Man layer. It implements sim.Protocol and
-// core.Topology.
-type Protocol struct {
-	cfg   Config
-	views [][]sim.NodeID
-
+// scratch is one worker slot's pooled exchange state.
+type scratch struct {
 	// sel holds the pooled parallel (distance, id) selection arrays.
 	sel topk.Scratch[sim.NodeID]
 	// candBuf assembles the owner+view candidate set for buildBuffer and
@@ -144,7 +146,28 @@ type Protocol struct {
 	hwSteps int
 }
 
+// Protocol is the T-Man layer. It implements sim.Protocol, sim.Batched
+// and core.Topology.
+type Protocol struct {
+	cfg   Config
+	views [][]sim.NodeID
+
+	// ws holds one scratch per worker slot (slot 0 is the sequential
+	// engine's and the external query path's); plan backs the matcher's
+	// read-only selection mirrors.
+	ws   []*scratch
+	plan struct {
+		sel  topk.Scratch[sim.NodeID]
+		cand []sim.NodeID
+		part []sim.NodeID
+	}
+	// psiCache hands each planned step's ψ-window ranking (the expensive,
+	// draw-free part of partner selection) from PlanStep to StepW.
+	psiCache sim.WindowCache
+}
+
 var _ sim.Protocol = (*Protocol)(nil)
+var _ sim.Batched = (*Protocol)(nil)
 
 // New returns a T-Man layer with the given configuration.
 func New(cfg Config) (*Protocol, error) {
@@ -152,7 +175,7 @@ func New(cfg Config) (*Protocol, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Protocol{cfg: cfg}, nil
+	return &Protocol{cfg: cfg, ws: []*scratch{{}}, psiCache: sim.NewWindowCache(cfg.Psi)}, nil
 }
 
 // MustNew is New but panics on configuration errors; intended for tests
@@ -168,6 +191,14 @@ func MustNew(cfg Config) *Protocol {
 // Name implements sim.Protocol.
 func (p *Protocol) Name() string { return "tman" }
 
+// EnsureWorkers implements core.WorkerTopology, growing the worker-slot
+// table (single-threaded; called before any worker starts).
+func (p *Protocol) EnsureWorkers(n int) {
+	for len(p.ws) < n {
+		p.ws = append(p.ws, &scratch{})
+	}
+}
+
 // InitNode implements sim.Protocol, seeding the view with random peers.
 func (p *Protocol) InitNode(e *sim.Engine, id sim.NodeID) {
 	for len(p.views) <= int(id) {
@@ -178,29 +209,38 @@ func (p *Protocol) InitNode(e *sim.Engine, id sim.NodeID) {
 
 // Step implements sim.Protocol: one T-Man gossip exchange initiated by id.
 func (p *Protocol) Step(e *sim.Engine, id sim.NodeID) {
-	p.maybeTrimScratch()
-	p.purgeDead(e, id)
+	p.StepW(e.SeqCtx(), id)
+}
+
+// StepW implements sim.Batched: the exchange under an explicit step
+// context (the sequential Step routes through it byte-identically).
+func (p *Protocol) StepW(ctx *sim.StepCtx, id sim.NodeID) {
+	e := ctx.Engine()
+	scr := p.ws[ctx.Worker()]
+	p.maybeTrimScratch(scr)
+	p.purgeDead(ctx, id)
 	// Refresh stale coordinates of the whole view: positions move every
 	// round under Polystyrene, and the paper attributes most communication
 	// traffic to these per-round position updates.
-	e.Charge(len(p.views[id]) * sim.PointCost(p.cfg.Space.Dim()))
+	ctx.Charge(len(p.views[id]) * sim.PointCost(p.cfg.Space.Dim()))
 
-	q := p.selectPartner(e, id)
+	q := p.selectPartner(ctx, scr, id)
 	if q == sim.None {
 		return
 	}
-	p.purgeDead(e, q)
+	ctx.Touch(q)
+	p.purgeDead(ctx, q)
 
 	// Each side sends the m descriptors most useful to the other, drawn
 	// from its view plus its own fresh descriptor. Both buffers are pooled
-	// on the instance: merge copies what it keeps into the views.
-	p.msgA = p.buildBuffer(p.msgA[:0], id, p.pos(q))
-	p.msgB = p.buildBuffer(p.msgB[:0], q, p.pos(id))
+	// on the worker slot: merge copies what it keeps into the views.
+	scr.msgA = p.buildBuffer(scr, scr.msgA[:0], id, p.pos(q))
+	scr.msgB = p.buildBuffer(scr, scr.msgB[:0], q, p.pos(id))
 	descCost := sim.DescriptorCost(p.cfg.Space.Dim())
-	e.Charge((len(p.msgA) + len(p.msgB)) * descCost)
+	ctx.Charge((len(scr.msgA) + len(scr.msgB)) * descCost)
 
-	p.merge(e, id, p.msgB)
-	p.merge(e, q, p.msgA)
+	p.merge(e, scr, id, scr.msgB)
+	p.merge(e, scr, q, scr.msgA)
 }
 
 func (p *Protocol) pos(id sim.NodeID) space.Point { return p.cfg.Position(id) }
@@ -208,9 +248,16 @@ func (p *Protocol) pos(id sim.NodeID) space.Point { return p.cfg.Position(id) }
 // selectPartner draws the exchange partner uniformly from the ψ closest
 // live view entries, augmented with one random peer from the sampling
 // layer (which guarantees convergence and re-connects isolated nodes).
-func (p *Protocol) selectPartner(e *sim.Engine, id sim.NodeID) sim.NodeID {
-	candidates := p.AppendNeighbors(p.candBuf[:0], id, p.cfg.Psi)
-	if r := p.cfg.Sampler.RandomPeer(e, id); r != sim.None && r != id {
+// Batched steps reuse the ψ ranking their plan already computed (it is
+// draw-free, so the stream stays aligned with the plan's replay).
+func (p *Protocol) selectPartner(ctx *sim.StepCtx, scr *scratch, id sim.NodeID) sim.NodeID {
+	var candidates []sim.NodeID
+	if ctx.Batched() {
+		candidates = p.psiCache.Append(scr.candBuf[:0], id)
+	} else {
+		candidates = append(scr.candBuf[:0], p.selectClosest(scr, p.views[id], p.pos(id), p.cfg.Psi)...)
+	}
+	if r := p.cfg.Sampler.RandomPeerW(ctx, id); r != sim.None && r != id {
 		dup := false
 		for _, c := range candidates {
 			if c == r {
@@ -222,33 +269,33 @@ func (p *Protocol) selectPartner(e *sim.Engine, id sim.NodeID) sim.NodeID {
 			candidates = append(candidates, r)
 		}
 	}
-	p.candBuf = candidates
+	scr.candBuf = candidates
 	if len(candidates) == 0 {
 		return sim.None
 	}
-	return candidates[e.Rand().Intn(len(candidates))]
+	return candidates[ctx.Rand().Intn(len(candidates))]
 }
 
 // buildBuffer appends to dst up to m descriptors from owner's view plus
 // owner itself, ranked by proximity to the receiver's position target.
-func (p *Protocol) buildBuffer(dst []sim.NodeID, owner sim.NodeID, target space.Point) []sim.NodeID {
+func (p *Protocol) buildBuffer(scr *scratch, dst []sim.NodeID, owner sim.NodeID, target space.Point) []sim.NodeID {
 	view := p.views[owner]
-	cand := append(p.candBuf[:0], owner)
+	cand := append(scr.candBuf[:0], owner)
 	cand = append(cand, view...)
-	p.candBuf = cand
-	return append(dst, p.selectClosest(cand, target, p.cfg.MsgSize)...)
+	scr.candBuf = cand
+	return append(dst, p.selectClosest(scr, cand, target, p.cfg.MsgSize)...)
 }
 
 // selectClosest partially selects the up-to-k IDs of cand whose positions
 // are closest to target, ordered by increasing distance (ties toward the
 // lower ID). Distances are evaluated once per candidate; selection is a
-// topk pass over pooled scratch and the result aliases that scratch: it is
-// only valid until the next selection and must not be retained. Nothing is
-// allocated.
-func (p *Protocol) selectClosest(cand []sim.NodeID, target space.Point, k int) []sim.NodeID {
-	p.noteScratch(len(cand))
+// topk pass over the slot's pooled scratch and the result aliases that
+// scratch: it is only valid until the slot's next selection and must not
+// be retained. Nothing is allocated.
+func (p *Protocol) selectClosest(scr *scratch, cand []sim.NodeID, target space.Point, k int) []sim.NodeID {
+	p.noteScratch(scr, len(cand))
 	s := p.cfg.Space
-	dist, ids := p.sel.Get(len(cand))
+	dist, ids := scr.sel.Get(len(cand))
 	for i, c := range cand {
 		dist[i] = s.Distance(p.pos(c), target)
 		ids[i] = c
@@ -261,9 +308,9 @@ func (p *Protocol) selectClosest(cand []sim.NodeID, target space.Point, k int) [
 // entries closest to owner's position, up to the view cap. The capped
 // selection writes back into the view's own backing array, so steady-state
 // merges allocate nothing.
-func (p *Protocol) merge(e *sim.Engine, owner sim.NodeID, received []sim.NodeID) {
+func (p *Protocol) merge(e *sim.Engine, scr *scratch, owner sim.NodeID, received []sim.NodeID) {
 	view := p.views[owner]
-	stamp, gen := p.seen.Next(e.NumNodes())
+	stamp, gen := scr.seen.Next(e.NumNodes())
 	stamp[owner] = gen
 	for _, v := range view {
 		stamp[v] = gen
@@ -275,18 +322,20 @@ func (p *Protocol) merge(e *sim.Engine, owner sim.NodeID, received []sim.NodeID)
 		}
 	}
 	if len(view) > p.cfg.ViewCap {
-		sel := p.selectClosest(view, p.pos(owner), p.cfg.ViewCap)
+		sel := p.selectClosest(scr, view, p.pos(owner), p.cfg.ViewCap)
 		view = view[:copy(view, sel)]
 	}
 	p.views[owner] = view
 }
 
 // purgeDead removes crashed nodes from id's view; if the view empties out
-// it is re-seeded from the sampling layer (healing after failures). A view
-// whose backing array vastly exceeds the surviving entries — the aftermath
-// of a catastrophic failure on a small surviving population — is compacted
-// so dead capacity is not pinned for the rest of the run.
-func (p *Protocol) purgeDead(e *sim.Engine, id sim.NodeID) {
+// it is re-seeded from the sampling layer (healing after failures),
+// appending into the view's own backing so the re-seed allocates nothing.
+// A view whose backing array vastly exceeds the surviving entries — the
+// aftermath of a catastrophic failure on a small surviving population —
+// is compacted so dead capacity is not pinned for the rest of the run.
+func (p *Protocol) purgeDead(ctx *sim.StepCtx, id sim.NodeID) {
+	e := ctx.Engine()
 	view := p.views[id]
 	kept := view[:0]
 	for _, v := range view {
@@ -305,55 +354,155 @@ func (p *Protocol) purgeDead(e *sim.Engine, id sim.NodeID) {
 	}
 	p.views[id] = kept
 	if len(kept) == 0 {
-		p.views[id] = p.cfg.Sampler.RandomPeers(e, id, p.cfg.InitDegree)
+		if cap(kept) < p.cfg.InitDegree {
+			kept = make([]sim.NodeID, 0, p.cfg.InitDegree)
+		}
+		p.views[id] = p.cfg.Sampler.AppendRandomPeersW(ctx, kept, id, p.cfg.InitDegree)
 	}
 }
 
-// noteScratch records a selection candidate size in the trim window's
-// high-water mark.
-func (p *Protocol) noteScratch(n int) {
-	if n > p.hwMark {
-		p.hwMark = n
+// noteScratch records a selection candidate size in the slot's trim
+// window's high-water mark.
+func (p *Protocol) noteScratch(scr *scratch, n int) {
+	if n > scr.hwMark {
+		scr.hwMark = n
 	}
 }
 
-// maybeTrimScratch closes a trim window: when the pooled selection and
-// message buffers grew beyond scratchTrimSlack times the window's largest
-// actual use, they are released and reallocated at working size on next
-// use. This bounds the memory a transient worst case (a post-catastrophe
-// merge wave) can pin.
-func (p *Protocol) maybeTrimScratch() {
-	p.hwSteps++
-	if p.hwSteps < scratchTrimInterval {
+// maybeTrimScratch closes a slot's trim window: when the pooled selection
+// and message buffers grew beyond scratchTrimSlack times the window's
+// largest actual use, they are released and reallocated at working size on
+// next use. This bounds the memory a transient worst case (a
+// post-catastrophe merge wave) can pin.
+func (p *Protocol) maybeTrimScratch(scr *scratch) {
+	scr.hwSteps++
+	if scr.hwSteps < scratchTrimInterval {
 		return
 	}
-	limit := scratchTrimSlack * p.hwMark
+	limit := scratchTrimSlack * scr.hwMark
 	if limit < p.cfg.InitDegree {
 		limit = p.cfg.InitDegree
 	}
-	p.sel.Shrink(limit)
-	if cap(p.candBuf) > limit {
-		p.candBuf = nil
+	scr.sel.Shrink(limit)
+	if cap(scr.candBuf) > limit {
+		scr.candBuf = nil
 	}
-	if cap(p.msgA) > limit {
-		p.msgA = nil
+	if cap(scr.msgA) > limit {
+		scr.msgA = nil
 	}
-	if cap(p.msgB) > limit {
-		p.msgB = nil
+	if cap(scr.msgB) > limit {
+		scr.msgB = nil
 	}
-	p.hwMark, p.hwSteps = 0, 0
+	scr.hwMark, scr.hwSteps = 0, 0
 }
+
+// --- sim.Batched ---
+
+// Batchable implements sim.Batched: exchanges are always pair-local.
+func (p *Protocol) Batchable() bool { return true }
+
+// BeginBatchedRound implements sim.Batched, sizing per-worker scratch for
+// this layer's own pass and for the neighbour queries the layers above
+// issue from their workers (AppendNeighborsW).
+func (p *Protocol) BeginBatchedRound(e *sim.Engine, workers int) {
+	p.EnsureWorkers(workers)
+}
+
+// PlanStep implements sim.Batched: it predicts the exchange partner of
+// StepW(id) by mirroring the selection prefix — purge (and possible
+// re-seed, replicated draw-for-draw on the throwaway stream), the ψ-window
+// ranking, the blended random peer and the final uniform pick — without
+// mutating any state, and appends {id, partner} (or {id} alone when the
+// step will be a no-op) to dst.
+func (p *Protocol) PlanStep(e *sim.Engine, rng *xrand.Rand, id sim.NodeID, dst []sim.NodeID) []sim.NodeID {
+	dst = append(dst, id)
+	// Mirror purgeDead(id): live entries keep their order; an emptied view
+	// is re-seeded from the sampling layer.
+	view := p.plan.cand[:0]
+	for _, v := range p.views[id] {
+		if e.Alive(v) {
+			view = append(view, v)
+		}
+	}
+	if len(view) == 0 {
+		view = p.cfg.Sampler.AppendPlanRandomPeers(view, e, rng, id, p.cfg.InitDegree)
+	}
+	p.plan.cand = view
+
+	// Mirror selectPartner over the (possibly re-seeded) view, handing
+	// the ranked window to StepW through the per-node cache.
+	candidates := append(p.plan.part[:0], p.planSelectClosest(view, p.pos(id), p.cfg.Psi)...)
+	p.psiCache.Put(id, candidates)
+	if r := p.cfg.Sampler.PlanRandomPeer(e, rng, id); r != sim.None && r != id {
+		dup := false
+		for _, c := range candidates {
+			if c == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			candidates = append(candidates, r)
+		}
+	}
+	p.plan.part = candidates
+	if len(candidates) == 0 {
+		return dst
+	}
+	return append(dst, candidates[rng.Intn(len(candidates))])
+}
+
+// planSelectClosest is selectClosest over the matcher's mirror scratch
+// (no high-water accounting: planning must not perturb worker trims).
+func (p *Protocol) planSelectClosest(cand []sim.NodeID, target space.Point, k int) []sim.NodeID {
+	s := p.cfg.Space
+	dist, ids := p.plan.sel.Get(len(cand))
+	for i, c := range cand {
+		dist[i] = s.Distance(p.pos(c), target)
+		ids[i] = c
+	}
+	k = topk.SmallestK(dist, ids, k)
+	return ids[:k]
+}
+
+// FlushBatch implements sim.Batched (the exchange defers nothing).
+func (p *Protocol) FlushBatch(e *sim.Engine) {}
+
+// EndBatchedRound implements sim.Batched.
+func (p *Protocol) EndBatchedRound(e *sim.Engine) {}
+
+// --- core.Topology ---
 
 // AppendNeighbors implements core.Topology: it appends the k closest live
 // view entries of id to dst, ordered by increasing distance to id's
 // current position, and returns the extended slice. With a caller-owned
 // buffer the query is allocation-free; this is what the layers above
 // consume (Polystyrene migration uses ψ, the evaluation metrics k = 4).
+// It runs on worker slot 0 — the sequential engine's and the observers'
+// slot; batched steps of layers above use AppendNeighborsW.
 func (p *Protocol) AppendNeighbors(dst []sim.NodeID, id sim.NodeID, k int) []sim.NodeID {
+	return p.AppendNeighborsW(0, dst, id, k)
+}
+
+// AppendNeighborsW implements core.WorkerTopology: AppendNeighbors over
+// worker slot w's selection scratch, so concurrent batched steps of the
+// layer above can query the overlay without sharing buffers.
+func (p *Protocol) AppendNeighborsW(w int, dst []sim.NodeID, id sim.NodeID, k int) []sim.NodeID {
 	if id < 0 || int(id) >= len(p.views) || k <= 0 {
 		return dst
 	}
-	return append(dst, p.selectClosest(p.views[id], p.pos(id), k)...)
+	scr := p.ws[w]
+	return append(dst, p.selectClosest(scr, p.views[id], p.pos(id), k)...)
+}
+
+// AppendNeighborsPlan implements core.WorkerTopology: AppendNeighbors over
+// the matcher's mirror scratch, for conflict-set planning by the layer
+// above (single-threaded, between batches).
+func (p *Protocol) AppendNeighborsPlan(dst []sim.NodeID, id sim.NodeID, k int) []sim.NodeID {
+	if id < 0 || int(id) >= len(p.views) || k <= 0 {
+		return dst
+	}
+	return append(dst, p.planSelectClosest(p.views[id], p.pos(id), k)...)
 }
 
 // EachNeighbor implements core.Topology: it calls yield for each of the k
@@ -364,7 +513,7 @@ func (p *Protocol) EachNeighbor(id sim.NodeID, k int, yield func(sim.NodeID) boo
 	if id < 0 || int(id) >= len(p.views) || k <= 0 {
 		return
 	}
-	for _, nb := range p.selectClosest(p.views[id], p.pos(id), k) {
+	for _, nb := range p.selectClosest(p.ws[0], p.views[id], p.pos(id), k) {
 		if !yield(nb) {
 			return
 		}
@@ -379,7 +528,7 @@ func (p *Protocol) Neighbors(id sim.NodeID, k int) []sim.NodeID {
 	if id < 0 || int(id) >= len(p.views) || k <= 0 {
 		return nil
 	}
-	sel := p.selectClosest(p.views[id], p.pos(id), k)
+	sel := p.selectClosest(p.ws[0], p.views[id], p.pos(id), k)
 	out := make([]sim.NodeID, len(sel))
 	copy(out, sel)
 	return out

@@ -122,8 +122,9 @@ func swap[P cmp.Ordered](keys []float64, payload []P, i, j int) {
 
 // Scratch is a reusable pair of parallel selection buffers for SmallestK
 // callers that select on every gossip exchange. It grows monotonically
-// and is not safe for concurrent use — pool one per (sequential)
-// protocol instance.
+// and is not safe for concurrent use — pool one per worker slot (the
+// gossip layers keep one per engine exchange worker; slot 0 serves the
+// sequential engine and external queries).
 type Scratch[P cmp.Ordered] struct {
 	keys    []float64
 	payload []P

@@ -18,6 +18,13 @@
 // Polystyrene's projection can move nodes around the shape. The package
 // satisfies core.Topology and charges the engine's meter with the same
 // unit cost model (descriptor = ID + position).
+//
+// An exchange's conflict set is {initiator, oldest view entry}: Step
+// reads and writes only those two views, which is what lets the engine's
+// batch scheduler (sim.Batched) run disjoint exchanges concurrently.
+// Per-exchange buffers and distance-selection scratch are pooled per
+// worker slot (slot 0 under the sequential engine), and the matcher plans
+// on a dedicated mirror scratch.
 package vicinity
 
 import (
@@ -27,6 +34,7 @@ import (
 	"polystyrene/internal/sim"
 	"polystyrene/internal/space"
 	"polystyrene/internal/topk"
+	"polystyrene/internal/xrand"
 )
 
 // Defaults follow the Vicinity paper's small-view spirit; the view is
@@ -90,18 +98,8 @@ type entry struct {
 	age int
 }
 
-// Protocol is the Vicinity layer. It implements sim.Protocol and
-// core.Topology.
-//
-// Per-exchange buffers and distance-selection scratch are pooled on the
-// instance (the engine is sequential), so steady-state gossip performs no
-// map operations and no allocations. Neighbour queries go through the
-// allocation-free AppendNeighbors/EachNeighbor forms of core.Topology;
-// the legacy Neighbors form is kept as a convenience wrapper.
-type Protocol struct {
-	cfg   Config
-	views [][]entry
-
+// scratch is one worker slot's pooled exchange state.
+type scratch struct {
 	// sel holds the pooled parallel (distance, view index) selection
 	// arrays.
 	sel topk.Scratch[int]
@@ -111,9 +109,29 @@ type Protocol struct {
 	bufB []sim.NodeID
 	// keepBuf is the pooled staging buffer for capped merge selections.
 	keepBuf []entry
+	// peerBuf stages random-peer draws (blend-in and view re-seeding).
+	peerBuf []sim.NodeID
+}
+
+// Protocol is the Vicinity layer. It implements sim.Protocol, sim.Batched
+// and core.Topology.
+type Protocol struct {
+	cfg   Config
+	views [][]entry
+
+	// ws holds one scratch per worker slot (slot 0 is the sequential
+	// engine's and the external query path's); plan backs the matcher's
+	// read-only selection mirrors.
+	ws   []*scratch
+	plan struct {
+		sel   topk.Scratch[int]
+		view  []entry
+		peers []sim.NodeID
+	}
 }
 
 var _ sim.Protocol = (*Protocol)(nil)
+var _ sim.Batched = (*Protocol)(nil)
 
 // New returns a Vicinity layer with the given configuration.
 func New(cfg Config) (*Protocol, error) {
@@ -121,7 +139,7 @@ func New(cfg Config) (*Protocol, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Protocol{cfg: cfg}, nil
+	return &Protocol{cfg: cfg, ws: []*scratch{{}}}, nil
 }
 
 // MustNew is New but panics on configuration errors.
@@ -135,6 +153,14 @@ func MustNew(cfg Config) *Protocol {
 
 // Name implements sim.Protocol.
 func (p *Protocol) Name() string { return "vicinity" }
+
+// EnsureWorkers implements core.WorkerTopology, growing the worker-slot
+// table (single-threaded; called before any worker starts).
+func (p *Protocol) EnsureWorkers(n int) {
+	for len(p.ws) < n {
+		p.ws = append(p.ws, &scratch{})
+	}
+}
 
 // InitNode implements sim.Protocol: seed with random peers.
 func (p *Protocol) InitNode(e *sim.Engine, id sim.NodeID) {
@@ -151,12 +177,21 @@ func (p *Protocol) InitNode(e *sim.Engine, id sim.NodeID) {
 
 // Step implements sim.Protocol: one Vicinity exchange initiated by id.
 func (p *Protocol) Step(e *sim.Engine, id sim.NodeID) {
-	p.purgeDead(e, id)
+	p.StepW(e.SeqCtx(), id)
+}
+
+// StepW implements sim.Batched: the exchange under an explicit step
+// context (the sequential Step routes through it byte-identically).
+func (p *Protocol) StepW(ctx *sim.StepCtx, id sim.NodeID) {
+	e := ctx.Engine()
+	scr := p.ws[ctx.Worker()]
+	p.purgeDead(ctx, scr, id)
 	view := p.views[id]
 
 	// Blend fresh randomness from the sampling layer into the candidate
 	// pool — Vicinity's lower Cyclon feed, which guarantees convergence.
-	for _, r := range p.cfg.Sampler.RandomPeers(e, id, p.cfg.RandomMix) {
+	scr.peerBuf = p.cfg.Sampler.AppendRandomPeersW(ctx, scr.peerBuf[:0], id, p.cfg.RandomMix)
+	for _, r := range scr.peerBuf {
 		if r != id && !p.contains(view, r) {
 			view = append(view, entry{id: r})
 		}
@@ -180,16 +215,17 @@ func (p *Protocol) Step(e *sim.Engine, id sim.NodeID) {
 		p.views[id] = view[:len(view)-1]
 		return
 	}
+	ctx.Touch(q)
 	view[oldest].age = 0 // refreshed by this exchange
-	p.purgeDead(e, q)
+	p.purgeDead(ctx, scr, q)
 
 	// Symmetric exchange of full views (plus self), capped at MsgSize.
-	sentToQ := p.descriptorsFor(id, q, &p.bufA)
-	sentToP := p.descriptorsFor(q, id, &p.bufB)
-	e.Charge((len(sentToQ) + len(sentToP)) * sim.DescriptorCost(p.cfg.Space.Dim()))
+	sentToQ := p.descriptorsFor(id, q, &scr.bufA)
+	sentToP := p.descriptorsFor(q, id, &scr.bufB)
+	ctx.Charge((len(sentToQ) + len(sentToP)) * sim.DescriptorCost(p.cfg.Space.Dim()))
 
-	p.merge(e, id, sentToP)
-	p.merge(e, q, sentToQ)
+	p.merge(e, scr, id, sentToP)
+	p.merge(e, scr, q, sentToQ)
 }
 
 // descriptorsFor returns owner's view plus itself, excluding the receiver,
@@ -213,7 +249,7 @@ func (p *Protocol) descriptorsFor(owner, receiver sim.NodeID, buf *[]sim.NodeID)
 // ViewSize entries closest to owner's current position (ties toward the
 // earlier view slot). Ages of surviving entries are preserved; new
 // entries start at age 0.
-func (p *Protocol) merge(e *sim.Engine, owner sim.NodeID, received []sim.NodeID) {
+func (p *Protocol) merge(e *sim.Engine, scr *scratch, owner sim.NodeID, received []sim.NodeID) {
 	view := p.views[owner]
 	for _, r := range received {
 		if r != owner && !p.contains(view, r) && e.Alive(r) {
@@ -225,12 +261,12 @@ func (p *Protocol) merge(e *sim.Engine, owner sim.NodeID, received []sim.NodeID)
 		// back into the view's own backing array: an in-place permutation
 		// would clobber entries still pending, and a fresh slice per merge
 		// is exactly the allocation this path avoids.
-		idx := p.selectView(view, owner, p.cfg.ViewSize)
-		kept := p.keepBuf[:0]
+		idx := p.selectView(scr, view, owner, p.cfg.ViewSize)
+		kept := scr.keepBuf[:0]
 		for _, j := range idx {
 			kept = append(kept, view[j])
 		}
-		p.keepBuf = kept
+		scr.keepBuf = kept
 		view = view[:copy(view, kept)]
 	}
 	p.views[owner] = view
@@ -238,11 +274,12 @@ func (p *Protocol) merge(e *sim.Engine, owner sim.NodeID, received []sim.NodeID)
 
 // selectView partially selects the up-to-k view indices whose entries are
 // closest to id's current position, ordered by increasing distance (ties
-// toward the earlier view slot). The result aliases pooled scratch: it is
-// only valid until the next selection and must not be retained.
-func (p *Protocol) selectView(view []entry, id sim.NodeID, k int) []int {
+// toward the earlier view slot). The result aliases the slot's pooled
+// scratch: it is only valid until the slot's next selection and must not
+// be retained.
+func (p *Protocol) selectView(scr *scratch, view []entry, id sim.NodeID, k int) []int {
 	ownerPos := p.cfg.Position(id)
-	dist, idx := p.sel.Get(len(view))
+	dist, idx := scr.sel.Get(len(view))
 	for i, en := range view {
 		dist[i] = p.cfg.Space.Distance(p.cfg.Position(en.id), ownerPos)
 		idx[i] = i
@@ -261,8 +298,10 @@ func (p *Protocol) contains(view []entry, id sim.NodeID) bool {
 }
 
 // purgeDead drops crashed peers from id's view and re-seeds an emptied
-// view from the sampling layer.
-func (p *Protocol) purgeDead(e *sim.Engine, id sim.NodeID) {
+// view from the sampling layer, reusing the view's backing array for the
+// re-seed (the draw sequence matches InitNode's exactly).
+func (p *Protocol) purgeDead(ctx *sim.StepCtx, scr *scratch, id sim.NodeID) {
+	e := ctx.Engine()
 	view := p.views[id]
 	kept := view[:0]
 	for _, en := range view {
@@ -272,20 +311,119 @@ func (p *Protocol) purgeDead(e *sim.Engine, id sim.NodeID) {
 	}
 	p.views[id] = kept
 	if len(kept) == 0 {
-		p.InitNode(e, id)
+		scr.peerBuf = p.cfg.Sampler.AppendRandomPeersW(ctx, scr.peerBuf[:0], id, p.cfg.ViewSize/2)
+		if cap(kept) < len(scr.peerBuf) {
+			kept = make([]entry, 0, p.cfg.ViewSize)
+		}
+		for _, peer := range scr.peerBuf {
+			kept = append(kept, entry{id: peer})
+		}
+		p.views[id] = kept
 	}
 }
+
+// --- sim.Batched ---
+
+// Batchable implements sim.Batched: exchanges are always pair-local.
+func (p *Protocol) Batchable() bool { return true }
+
+// BeginBatchedRound implements sim.Batched, sizing per-worker scratch.
+func (p *Protocol) BeginBatchedRound(e *sim.Engine, workers int) {
+	p.EnsureWorkers(workers)
+}
+
+// PlanStep implements sim.Batched: it predicts the exchange partner of
+// StepW(id) — the oldest entry after the purge (with its possible
+// re-seed) and the random blend-in, both replicated draw-for-draw on the
+// throwaway stream — without mutating anything, and appends {id, partner}
+// (or {id} for a no-op step) to dst.
+func (p *Protocol) PlanStep(e *sim.Engine, rng *xrand.Rand, id sim.NodeID, dst []sim.NodeID) []sim.NodeID {
+	dst = append(dst, id)
+	// Mirror purgeDead: live entries keep order; an emptied view re-seeds.
+	lv := p.plan.view[:0]
+	for _, en := range p.views[id] {
+		if e.Alive(en.id) {
+			lv = append(lv, en)
+		}
+	}
+	if len(lv) == 0 {
+		p.plan.peers = p.cfg.Sampler.AppendPlanRandomPeers(p.plan.peers[:0], e, rng, id, p.cfg.ViewSize/2)
+		for _, peer := range p.plan.peers {
+			lv = append(lv, entry{id: peer})
+		}
+	}
+	// Mirror the random blend-in.
+	p.plan.peers = p.cfg.Sampler.AppendPlanRandomPeers(p.plan.peers[:0], e, rng, id, p.cfg.RandomMix)
+	for _, r := range p.plan.peers {
+		if r != id && !p.contains(lv, r) {
+			lv = append(lv, entry{id: r})
+		}
+	}
+	p.plan.view = lv
+	if len(lv) == 0 {
+		return dst
+	}
+	// Ageing is uniform, so the partner is the first strictly-oldest entry.
+	oldest := 0
+	for i := range lv {
+		if lv[i].age > lv[oldest].age {
+			oldest = i
+		}
+	}
+	return append(dst, lv[oldest].id)
+}
+
+// FlushBatch implements sim.Batched (the exchange defers nothing).
+func (p *Protocol) FlushBatch(e *sim.Engine) {}
+
+// EndBatchedRound implements sim.Batched.
+func (p *Protocol) EndBatchedRound(e *sim.Engine) {}
+
+// planSelectView is selectView over the matcher's mirror scratch.
+func (p *Protocol) planSelectView(view []entry, id sim.NodeID, k int) []int {
+	ownerPos := p.cfg.Position(id)
+	dist, idx := p.plan.sel.Get(len(view))
+	for i, en := range view {
+		dist[i] = p.cfg.Space.Distance(p.cfg.Position(en.id), ownerPos)
+		idx[i] = i
+	}
+	k = topk.SmallestK(dist, idx, k)
+	return idx[:k]
+}
+
+// --- core.Topology ---
 
 // AppendNeighbors implements core.Topology: it appends the k closest view
 // entries of id to dst, ordered by increasing distance to id's current
 // position, and returns the extended slice. With a caller-owned buffer
-// the query is allocation-free.
+// the query is allocation-free. It runs on worker slot 0; batched steps
+// of layers above use AppendNeighborsW.
 func (p *Protocol) AppendNeighbors(dst []sim.NodeID, id sim.NodeID, k int) []sim.NodeID {
+	return p.AppendNeighborsW(0, dst, id, k)
+}
+
+// AppendNeighborsW implements core.WorkerTopology: AppendNeighbors over
+// worker slot w's selection scratch.
+func (p *Protocol) AppendNeighborsW(w int, dst []sim.NodeID, id sim.NodeID, k int) []sim.NodeID {
 	if id < 0 || int(id) >= len(p.views) || k <= 0 {
 		return dst
 	}
 	view := p.views[id]
-	for _, j := range p.selectView(view, id, k) {
+	for _, j := range p.selectView(p.ws[w], view, id, k) {
+		dst = append(dst, view[j].id)
+	}
+	return dst
+}
+
+// AppendNeighborsPlan implements core.WorkerTopology: AppendNeighbors over
+// the matcher's mirror scratch, for conflict-set planning by the layer
+// above.
+func (p *Protocol) AppendNeighborsPlan(dst []sim.NodeID, id sim.NodeID, k int) []sim.NodeID {
+	if id < 0 || int(id) >= len(p.views) || k <= 0 {
+		return dst
+	}
+	view := p.views[id]
+	for _, j := range p.planSelectView(view, id, k) {
 		dst = append(dst, view[j].id)
 	}
 	return dst
@@ -300,7 +438,7 @@ func (p *Protocol) EachNeighbor(id sim.NodeID, k int, yield func(sim.NodeID) boo
 		return
 	}
 	view := p.views[id]
-	for _, j := range p.selectView(view, id, k) {
+	for _, j := range p.selectView(p.ws[0], view, id, k) {
 		if !yield(view[j].id) {
 			return
 		}
@@ -316,7 +454,7 @@ func (p *Protocol) Neighbors(id sim.NodeID, k int) []sim.NodeID {
 		return nil
 	}
 	view := p.views[id]
-	idx := p.selectView(view, id, k)
+	idx := p.selectView(p.ws[0], view, id, k)
 	out := make([]sim.NodeID, len(idx))
 	for i, j := range idx {
 		out[i] = view[j].id

@@ -71,6 +71,13 @@ func (r *Rand) Split() *Rand {
 	return child
 }
 
+// Reseed resets the generator to the state New(seed) would produce,
+// reusing the receiver's storage. Reseeding an existing generator from a
+// stream of parent-drawn seeds is exactly equivalent to Split — the
+// batched simulation engine uses this to hand every step of a round its
+// own pre-split stream without allocating one generator per step.
+func (r *Rand) Reseed(seed uint64) { r.reseed(seed) }
+
 // Intn returns a uniform integer in [0, n). It panics if n <= 0, mirroring
 // math/rand, because a non-positive bound is always a programming error.
 func (r *Rand) Intn(n int) int {

@@ -2,20 +2,22 @@
 # Regenerates the tracked bench-trajectory snapshot (BENCH_2.json onward):
 # runs the per-round hot-path micro-benchmarks — migrate round, metrics
 # round, proximity round and the neighbour query, each against its legacy
-# baseline variant — plus the headline Fig. 10a scalability bench, and
-# converts the `go test -json` stream into a stable JSON document via
-# scripts/benchjson.
+# baseline variant — plus the headline Fig. 10a scalability bench and the
+# 51,200-node BenchmarkParallelRound worker sweep (w=0 sequential engine,
+# w>=1 batched exchange scheduler; wall-clock gains need a multi-core
+# machine), and converts the `go test -json` stream into a stable JSON
+# document via scripts/benchjson.
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_3.json}"
+out="${1:-BENCH_4.json}"
 benchtime="${2:-5x}"
 
 go test -json -run '^$' \
-  -bench 'BenchmarkMigrateRound|BenchmarkMetricsRound|BenchmarkProximityRound|BenchmarkNeighborsQuery|BenchmarkFig10aScalability' \
-  -benchmem -benchtime "$benchtime" -timeout 30m \
+  -bench 'BenchmarkMigrateRound|BenchmarkMetricsRound|BenchmarkProximityRound|BenchmarkNeighborsQuery|BenchmarkFig10aScalability|BenchmarkParallelRound' \
+  -benchmem -benchtime "$benchtime" -timeout 60m \
   . ./internal/core/ ./internal/scenario/ ./internal/tman/ |
   go run ./scripts/benchjson > "$out"
 
