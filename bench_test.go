@@ -212,23 +212,39 @@ func BenchmarkTableIIReshaping(b *testing.B) {
 
 // BenchmarkFig10aScalability reproduces Fig. 10a: reshaping time grows
 // roughly logarithmically with network size for each K (the cmd/polysweep
-// tool extends the sweep to the paper's 51 200 nodes).
+// tool extends the sweep to the paper's 51 200 nodes). The unsuffixed
+// variants run the sequential engine; the _w2 variants run the same cells
+// under intra-round exchange batching with two workers (the polysweep
+// `-exchange-parallel` path) — a different, equally valid deterministic
+// trajectory, so their reshaping_rounds may differ slightly from the
+// sequential ones while the published growth shape is preserved.
 func BenchmarkFig10aScalability(b *testing.B) {
 	for _, size := range []scenario.GridSize{{W: 16, H: 8}, {W: 40, H: 20}, {W: 80, H: 40}} {
 		for _, k := range []int{2, 8} {
-			name := fmt.Sprintf("N%d_K%d", size.W*size.H, k)
-			b.Run(name, func(b *testing.B) {
-				var rounds float64
-				for i := 0; i < b.N; i++ {
-					cfg := scenario.Config{Seed: 8, W: size.W, H: size.H, Polystyrene: true, K: k}
-					out, err := scenario.MeasureReshaping(cfg, 20, 80)
-					if err != nil {
-						b.Fatal(err)
+			for _, workers := range []int{0, 2} {
+				name := fmt.Sprintf("N%d_K%d", size.W*size.H, k)
+				if workers > 0 {
+					if k != 2 {
+						continue // one parallel series tracks the scheduler
 					}
-					rounds = float64(out.Rounds)
+					name = fmt.Sprintf("%s_w%d", name, workers)
 				}
-				b.ReportMetric(rounds, "reshaping_rounds")
-			})
+				b.Run(name, func(b *testing.B) {
+					var rounds float64
+					for i := 0; i < b.N; i++ {
+						cfg := scenario.Config{
+							Seed: 8, W: size.W, H: size.H, Polystyrene: true, K: k,
+							ExchangeParallelism: workers,
+						}
+						out, err := scenario.MeasureReshaping(cfg, 20, 80)
+						if err != nil {
+							b.Fatal(err)
+						}
+						rounds = float64(out.Rounds)
+					}
+					b.ReportMetric(rounds, "reshaping_rounds")
+				})
+			}
 		}
 	}
 }

@@ -40,6 +40,10 @@ func run(args []string, out io.Writer) error {
 		parallel  = fs.Int("parallel", 0, "total worker budget across rates (0 = all cores)")
 		exchange  = fs.Int("exchange-parallel", 0,
 			"per-rate intra-round exchange worker cap (0 = sequential engines; any value >= 1 gives identical results)")
+		memBudget = fs.Int("mem-budget", 0,
+			"memory budget in MiB for concurrently running rates (0 = unbounded); bounds how many run at once by their estimated engine footprint")
+		poolEngines = fs.Bool("pool-engines", true,
+			"recycle engines across rates (identical results; saves one engine allocation per rate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,6 +61,8 @@ func run(args []string, out io.Writer) error {
 		SettleRounds:        *settle,
 		Parallelism:         *parallel,
 		ExchangeParallelism: *exchange,
+		MemBudgetBytes:      int64(*memBudget) << 20,
+		PoolEngines:         *poolEngines,
 	})
 	if err != nil {
 		return err

@@ -41,6 +41,8 @@ func run(args []string, out io.Writer) error {
 		end        = fs.Int("end", 200, "total rounds")
 		exchange   = fs.Int("exchange-parallel", 0,
 			"intra-round exchange workers (0 = sequential engine; results are identical for every value >= 1)")
+		memBudget = fs.Int("mem-budget", 0,
+			"memory budget in MiB (0 = unbounded); refuses to start when the configuration's estimated engine footprint exceeds it")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,12 +61,19 @@ func run(args []string, out io.Writer) error {
 		Split:               splitKind,
 		ExchangeParallelism: *exchange,
 	}
+	if *memBudget > 0 {
+		if est := cfg.EstimatedFootprintBytes(); est > int64(*memBudget)<<20 {
+			return fmt.Errorf("estimated engine footprint %d MiB exceeds -mem-budget %d MiB (shrink the grid or raise the budget)",
+				(est+(1<<20)-1)>>20, *memBudget)
+		}
+	}
 	phases := scenario.Phases{FailAt: *failAt, ReinjectAt: *reinjectAt, End: *end}
 
 	sc, res, err := scenario.RunPaper(cfg, phases)
 	if err != nil {
 		return err
 	}
+	defer sc.Close()
 
 	fmt.Fprintf(out, "# polystyrene=%v K=%d split=%s grid=%dx%d seed=%d\n",
 		cfg.Polystyrene, cfg.K, splitKind, *w, *h, *seed)

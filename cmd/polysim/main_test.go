@@ -45,6 +45,26 @@ func TestRunTManBaseline(t *testing.T) {
 	}
 }
 
+func TestRunMemBudget(t *testing.T) {
+	var b strings.Builder
+	// A 1 MiB budget cannot hold the 80x40 default grid's engine.
+	err := run([]string{"-mem-budget", "1", "-end", "5", "-fail-at", "1", "-reinject-at", "2"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "mem-budget") {
+		t.Fatalf("over-budget run not refused: %v", err)
+	}
+	// A sufficient budget runs normally.
+	b.Reset()
+	if err := run([]string{
+		"-w", "16", "-h", "8", "-mem-budget", "64",
+		"-fail-at", "5", "-reinject-at", "10", "-end", "15",
+	}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "final reliability") {
+		t.Fatal("budgeted run did not complete")
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-split", "bogus"}, &b); err == nil {

@@ -41,6 +41,10 @@ func run(args []string, out io.Writer) error {
 		parallel = fs.Int("parallel", 0, "total worker budget across grid cells (0 = all cores)")
 		exchange = fs.Int("exchange-parallel", 0,
 			"per-cell intra-round exchange worker cap (0 = sequential engines; any value >= 1 gives identical results)")
+		memBudget = fs.Int("mem-budget", 0,
+			"memory budget in MiB for concurrently running cells (0 = unbounded); bounds how many cells run at once by their estimated engine footprint, never which cells run")
+		poolEngines = fs.Bool("pool-engines", true,
+			"recycle engines across equal-size cells (identical results; saves one engine allocation per cell)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +77,8 @@ func run(args []string, out io.Writer) error {
 			MaxRounds:           *budget,
 			Parallelism:         *parallel,
 			ExchangeParallelism: *exchange,
+			MemBudgetBytes:      int64(*memBudget) << 20,
+			PoolEngines:         *poolEngines,
 		})
 	if err != nil {
 		return err

@@ -37,6 +37,30 @@ func TestRunSplitMode(t *testing.T) {
 	}
 }
 
+// TestRunMemBudgetIdenticalOutput pins the CLI-level contract of the
+// memory budget and the engine pool: a 1 MiB budget (cells run one at a
+// time, recycled engines) produces byte-identical CSV to the unbounded,
+// per-cell-engine run.
+func TestRunMemBudgetIdenticalOutput(t *testing.T) {
+	args := []string{"-max", "200", "-reps", "2", "-converge", "10", "-max-rounds", "40"}
+	var ref, budgeted, unpooled strings.Builder
+	if err := run(args, &ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-mem-budget", "1"}, args...), &budgeted); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-pool-engines=false"}, args...), &unpooled); err != nil {
+		t.Fatal(err)
+	}
+	if budgeted.String() != ref.String() {
+		t.Error("-mem-budget changed the sweep output")
+	}
+	if unpooled.String() != ref.String() {
+		t.Error("-pool-engines=false changed the sweep output")
+	}
+}
+
 func TestRunRejectsBadMode(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-mode", "nope"}, &b); err == nil {

@@ -35,6 +35,10 @@ func run(args []string, out io.Writer) error {
 		parallel = fs.Int("parallel", 0, "total worker budget across repetitions (0 = all cores)")
 		exchange = fs.Int("exchange-parallel", 0,
 			"per-run intra-round exchange worker cap (0 = sequential engines; any value >= 1 gives identical results)")
+		memBudget = fs.Int("mem-budget", 0,
+			"memory budget in MiB for concurrently running repetitions (0 = unbounded); bounds how many run at once by their estimated engine footprint")
+		poolEngines = fs.Bool("pool-engines", true,
+			"recycle engines across repetitions (identical results; saves one engine allocation per run)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,6 +51,8 @@ func run(args []string, out io.Writer) error {
 			MaxRounds:           *budget,
 			Parallelism:         *parallel,
 			ExchangeParallelism: *exchange,
+			MemBudgetBytes:      int64(*memBudget) << 20,
+			PoolEngines:         *poolEngines,
 		})
 	if err != nil {
 		return err

@@ -350,6 +350,7 @@ func New(cfg Config) (*Protocol, error) {
 	p.wtopo, _ = cfg.Topology.(WorkerTopology)
 	p.ws = []*scratch{p.newScratch()}
 	p.psiCache = sim.NewWindowCache(cfg.Psi)
+	p.holders.floor = cfg.K + 1
 	return p, nil
 }
 
@@ -419,8 +420,14 @@ func (p *Protocol) StepW(ctx *sim.StepCtx, id sim.NodeID) {
 	p.backup(ctx, scr, id)
 	p.migrate(ctx, scr, id)
 	p.project(id)
-	if ctx.Batched() && len(scr.ops) > opLo {
-		scr.steps = append(scr.steps, stepOps{step: int32(ctx.StepIndex()), lo: int32(opLo), hi: int32(len(scr.ops))})
+	if ctx.Batched() {
+		if len(scr.ops) > opLo {
+			scr.steps = append(scr.steps, stepOps{step: int32(ctx.StepIndex()), lo: int32(opLo), hi: int32(len(scr.ops))})
+		}
+	} else {
+		// Batched rounds tick once per round from EndBatchedRound instead:
+		// the trim window must only advance on the engine goroutine.
+		p.holders.tick(1)
 	}
 }
 
@@ -657,7 +664,6 @@ func (p *Protocol) topoAppendNeighbors(ctx *sim.StepCtx, dst []sim.NodeID, id si
 	}
 	return p.cfg.Topology.AppendNeighbors(dst, id, k)
 }
-
 
 // --- Migration (Algorithm 3) ---
 
@@ -935,8 +941,13 @@ func (p *Protocol) FlushBatch(e *sim.Engine) {
 }
 
 // EndBatchedRound implements sim.Batched, restoring live Position reads
-// before observers run.
-func (p *Protocol) EndBatchedRound(e *sim.Engine) { p.snapOn = false }
+// before observers run and advancing the holders-index trim window by the
+// round's step count (the per-step tick of the sequential path must not
+// run on concurrent workers).
+func (p *Protocol) EndBatchedRound(e *sim.Engine) {
+	p.snapOn = false
+	p.holders.tick(e.NumLive())
+}
 
 // --- Accessors (used by the position func, metrics and tests) ---
 
@@ -1022,6 +1033,16 @@ func (p *Protocol) HoldersOf(pid space.PointID) []sim.NodeID {
 	return p.holders.of(pid)
 }
 
+// HoldersIndexFootprint reports the holders index's entry count, its
+// total backing capacity (in entries), and the capacity bound the trim
+// discipline settles under once the system is calm. Diagnostics for the
+// memory soak tests: capacity transiently exceeds the bound during a
+// recovery wave and is trimmed back under it against the decaying
+// high-water mark afterwards.
+func (p *Protocol) HoldersIndexFootprint() (entries, capacity, slackBound int) {
+	return p.holders.footprint()
+}
+
 // PositionFunc returns the function the topology-construction layer should
 // use to resolve node positions, closing the projection loop of Fig. 3.
 // The result is assignable to tman.PositionFunc and vicinity.PositionFunc.
@@ -1031,14 +1052,37 @@ func (p *Protocol) PositionFunc() func(id sim.NodeID) space.Point {
 
 // --- holders index ---
 
+// Holders-list trimming parameters. A recovery wave reactivates ghosts
+// eagerly, so holder lists transiently grow well past their steady-state
+// length of ~1 — appended to one holder at a time, doubling their backing
+// arrays — and once migration has deduplicated the copies the lists
+// shrink back but their capacity stays pinned, list by list, run-long
+// (~3x the entry count after a couple of waves at 12,800 nodes). The trim
+// window closes every holderTrimWindow protocol steps; the window's
+// largest observed list length is the decaying high-water mark that gates
+// it: a calm window (high-water mark at most K+1, i.e. no recovery wave
+// in flight) compacts every list whose capacity exceeds holderTrimSlack
+// times its current length, while a hot window trims nothing — lists
+// about to regrow should keep their capacity. Trimming only changes
+// capacities, never contents, so it is invisible to results at every
+// worker count.
+const (
+	holderTrimWindow = 4096
+	holderTrimSlack  = 2
+)
+
 // holderIndex is the incremental guests⁻¹ map: for each PointID, the nodes
 // hosting that point as a guest. Lists are tiny (one holder in steady
 // state, ~K+1 transiently after a recovery wave), so membership updates
 // are linear scans and removal is swap-remove; list order is therefore
 // arbitrary, which is fine for the order-independent (min / any-live)
-// queries the metrics run.
+// queries the metrics run. floor / steps / hwMark drive the decaying
+// high-water-mark capacity trim (see the constants above).
 type holderIndex struct {
-	lists [][]sim.NodeID
+	lists  [][]sim.NodeID
+	floor  int
+	steps  int
+	hwMark int
 }
 
 // add appends n to pid's holder list, first compacting out entries whose
@@ -1058,7 +1102,58 @@ func (h *holderIndex) add(e *sim.Engine, pid space.PointID, n sim.NodeID) {
 			kept = append(kept, v)
 		}
 	}
-	h.lists[pid] = append(kept, n)
+	kept = append(kept, n)
+	h.lists[pid] = kept
+	if len(kept) > h.hwMark {
+		h.hwMark = len(kept)
+	}
+}
+
+// tick advances the trim window by n protocol steps and, when a calm
+// window closes (largest list length seen at most the K+1 floor — a
+// recovery wave in flight shows up as longer lists, and its lists should
+// keep their capacity), compacts every list whose capacity outgrew
+// holderTrimSlack times its current length. Lists at capacity <=
+// holderTrimSlack are never compacted: the steady-state 1<->2 holder
+// flutter of migration would otherwise thrash reallocations. Called once
+// per sequential step and once per batched round (with the round's step
+// count) — always from the engine goroutine, so the sweep never races
+// with workers.
+func (h *holderIndex) tick(n int) {
+	h.steps += n
+	if h.steps < holderTrimWindow {
+		return
+	}
+	if h.hwMark <= h.floor {
+		for i, l := range h.lists {
+			if cap(l) > holderTrimSlack*len(l) && cap(l) > holderTrimSlack {
+				compact := make([]sim.NodeID, len(l))
+				copy(compact, l)
+				h.lists[i] = compact
+			}
+		}
+	}
+	h.steps, h.hwMark = 0, 0
+}
+
+// footprint returns the index's entry count, its total list capacity (in
+// entries), and the exact capacity bound the trim discipline promises
+// once a calm window has closed: per allocated list, holderTrimSlack
+// times its length, but never below holderTrimSlack (tick exempts
+// cap <= holderTrimSlack lists to avoid thrash).
+func (h *holderIndex) footprint() (entries, capacity, slackBound int) {
+	for _, l := range h.lists {
+		entries += len(l)
+		capacity += cap(l)
+		if cap(l) > 0 {
+			b := holderTrimSlack * len(l)
+			if b < holderTrimSlack {
+				b = holderTrimSlack
+			}
+			slackBound += b
+		}
+	}
+	return entries, capacity, slackBound
 }
 
 func (h *holderIndex) remove(pid space.PointID, n sim.NodeID) {

@@ -8,11 +8,14 @@
 // order, so the output is identical regardless of scheduling.
 //
 // Jobs may themselves be internally parallel (engines running intra-round
-// exchange batching, sim.SetExchangeParallelism); ComposeBudget splits one
+// exchange batching, sim.SetExchangeParallelism); a Budget splits one
 // machine-wide worker budget between the two levels so a sweep does not
-// oversubscribe the cores. The split never affects results: cell-level
-// results fold in index order, and exchange results are byte-identical at
-// every worker count >= 1.
+// oversubscribe the cores, and additionally bounds how many jobs may run
+// at once by memory — each sweep cell owns a full engine whose footprint
+// scales with its node count, and at large grids memory, not cores, is
+// the wall hit first. The split never affects results: cell-level results
+// fold in index order, and exchange results are byte-identical at every
+// worker count >= 1.
 package runner
 
 import (
@@ -21,16 +24,40 @@ import (
 	"sync"
 )
 
-// ComposeBudget splits a total worker budget between concurrently running
-// jobs and per-job exchange workers. budget <= 0 means GOMAXPROCS.
-// exchangeCap is the per-job ceiling the caller asked for: 0 disables
-// intra-round parallelism entirely (perJob = 0, the legacy sequential
-// engine — a semantically different trajectory, so it is never enabled
-// implicitly). Otherwise jobs are fanned out first — outer parallelism
-// scales with no coordination cost — and leftover budget is spent inside
-// each job, bounded by exchangeCap: perJob = min(exchangeCap,
-// max(1, budget/jobs)).
-func ComposeBudget(budget, jobs, exchangeCap int) (parallelism, perJob int) {
+// Budget describes the resources a fan-out may consume: a goroutine
+// budget split between concurrent jobs and per-job exchange workers, and
+// an optional memory budget that further bounds concurrent jobs by their
+// estimated footprint. The zero value means "all cores, sequential
+// engines, unbounded memory".
+type Budget struct {
+	// Workers is the total goroutine budget across concurrent jobs and
+	// their exchange workers; <= 0 means GOMAXPROCS.
+	Workers int
+	// ExchangeCap caps the exchange workers inside each job: 0 keeps jobs
+	// on the legacy sequential engine (a semantically different
+	// trajectory, so it is never enabled implicitly), any value >= 1
+	// switches jobs to the batched engine, whose results are identical at
+	// every worker count >= 1.
+	ExchangeCap int
+	// MemBytes bounds the total estimated footprint of concurrently
+	// running jobs; <= 0 means unbounded.
+	MemBytes int64
+	// JobBytes is the estimated footprint of one job (callers estimate it
+	// from the job's engine size — nodes x layer count — or override it
+	// with a measured value). <= 0 means unknown, which disables the
+	// memory bound.
+	JobBytes int64
+}
+
+// Split resolves the budget for a fan-out of the given job count:
+// parallelism is how many jobs may run at once and perJob the exchange
+// worker count inside each. Jobs fan out first — outer parallelism scales
+// with no coordination cost — bounded by the memory budget when one is
+// given (always allowing at least one job, or nothing would ever run);
+// leftover worker budget is spent inside each job: perJob =
+// min(ExchangeCap, max(1, Workers/parallelism)).
+func (b Budget) Split(jobs int) (parallelism, perJob int) {
+	budget := b.Workers
 	if budget <= 0 {
 		budget = runtime.GOMAXPROCS(0)
 	}
@@ -41,17 +68,34 @@ func ComposeBudget(budget, jobs, exchangeCap int) (parallelism, perJob int) {
 	if parallelism > jobs {
 		parallelism = jobs
 	}
-	if exchangeCap <= 0 {
+	if b.MemBytes > 0 && b.JobBytes > 0 {
+		memJobs := int(b.MemBytes / b.JobBytes)
+		if memJobs < 1 {
+			memJobs = 1
+		}
+		if parallelism > memJobs {
+			parallelism = memJobs
+		}
+	}
+	if b.ExchangeCap <= 0 {
 		return parallelism, 0
 	}
 	perJob = budget / parallelism
 	if perJob < 1 {
 		perJob = 1
 	}
-	if perJob > exchangeCap {
-		perJob = exchangeCap
+	if perJob > b.ExchangeCap {
+		perJob = b.ExchangeCap
 	}
 	return parallelism, perJob
+}
+
+// ComposeBudget splits a total worker budget between concurrently running
+// jobs and per-job exchange workers: Budget{Workers: budget, ExchangeCap:
+// exchangeCap}.Split(jobs) — the memory-unbounded composition, kept for
+// callers without a footprint estimate.
+func ComposeBudget(budget, jobs, exchangeCap int) (parallelism, perJob int) {
+	return Budget{Workers: budget, ExchangeCap: exchangeCap}.Split(jobs)
 }
 
 // Map runs fn(0), ..., fn(n-1) using at most parallelism concurrent

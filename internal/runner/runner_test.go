@@ -132,3 +132,56 @@ func TestComposeBudget(t *testing.T) {
 		t.Fatalf("default budget produced parallelism %d", par)
 	}
 }
+
+func TestBudgetSplitMemoryBound(t *testing.T) {
+	cases := []struct {
+		name                string
+		b                   Budget
+		jobs                int
+		wantPar, wantPerJob int
+	}{
+		{
+			name: "memory caps parallelism below the worker budget",
+			b:    Budget{Workers: 8, MemBytes: 2 << 20, JobBytes: 1 << 20},
+			jobs: 8, wantPar: 2,
+		},
+		{
+			name: "worker budget caps when memory is plentiful",
+			b:    Budget{Workers: 3, MemBytes: 100 << 20, JobBytes: 1 << 20},
+			jobs: 8, wantPar: 3,
+		},
+		{
+			name: "a job bigger than the whole budget still runs, one at a time",
+			b:    Budget{Workers: 8, MemBytes: 1 << 20, JobBytes: 4 << 20},
+			jobs: 8, wantPar: 1,
+		},
+		{
+			name: "unknown job footprint disables the memory bound",
+			b:    Budget{Workers: 4, MemBytes: 1},
+			jobs: 8, wantPar: 4,
+		},
+		{
+			name: "no memory budget disables the bound",
+			b:    Budget{Workers: 4, JobBytes: 1 << 30},
+			jobs: 8, wantPar: 4,
+		},
+		{
+			name: "memory-freed workers move inside the jobs",
+			b:    Budget{Workers: 8, ExchangeCap: 16, MemBytes: 2 << 20, JobBytes: 1 << 20},
+			jobs: 8, wantPar: 2, wantPerJob: 4,
+		},
+	}
+	for _, c := range cases {
+		par, perJob := c.b.Split(c.jobs)
+		if par != c.wantPar || perJob != c.wantPerJob {
+			t.Errorf("%s: Split(%d) = (%d, %d), want (%d, %d)",
+				c.name, c.jobs, par, perJob, c.wantPar, c.wantPerJob)
+		}
+	}
+	// The zero Budget behaves like ComposeBudget(0, jobs, 0).
+	par, perJob := Budget{}.Split(5)
+	refPar, refPerJob := ComposeBudget(0, 5, 0)
+	if par != refPar || perJob != refPerJob {
+		t.Errorf("zero Budget = (%d, %d), want ComposeBudget default (%d, %d)", par, perJob, refPar, refPerJob)
+	}
+}

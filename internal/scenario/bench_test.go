@@ -118,7 +118,10 @@ func BenchmarkProximityRound(b *testing.B) {
 // scheduler (same physics, byte-identical across every w>=1), so the
 // variants expose both the scheduler's constant overhead (w=1 vs w=0:
 // planning and batching are sequential work on top of stepping) and its
-// scaling (w=2..GOMAXPROCS). Tracked in BENCH_4.json via scripts/bench.sh.
+// scaling (w=2..GOMAXPROCS). Since the persistent worker pool, the w>=2
+// variants also pin the no-per-batch-spawns contract: their allocs/op
+// must stay at the w=1 level. Tracked in BENCH_*.json via
+// scripts/bench.sh.
 func BenchmarkParallelRound(b *testing.B) {
 	const convergeRounds = 5
 	counts := []int{0, 1, 2, 4}
@@ -131,6 +134,7 @@ func BenchmarkParallelRound(b *testing.B) {
 				Seed: 5, W: 320, H: 160, Polystyrene: true, K: 4,
 				SkipMetrics: true, ExchangeParallelism: w,
 			})
+			b.Cleanup(sc.Close)
 			sc.Run(convergeRounds)
 			b.ReportAllocs()
 			b.ResetTimer()

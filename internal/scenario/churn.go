@@ -37,7 +37,9 @@ type ChurnOutcome struct {
 }
 
 // RunChurn converges the system, applies sustained random churn, lets it
-// settle for settleRounds, and reports the outcome.
+// settle for settleRounds, and reports the outcome. An engine it
+// allocates itself is closed before returning (a supplied cfg.Engine
+// stays open — the pooling caller owns it).
 func RunChurn(cfg Config, churn ChurnConfig, convergeRounds, settleRounds int) (ChurnOutcome, error) {
 	if churn.Rate < 0 || churn.Rate >= 1 {
 		return ChurnOutcome{}, fmt.Errorf("scenario: churn rate %v out of [0,1)", churn.Rate)
@@ -46,6 +48,9 @@ func RunChurn(cfg Config, churn ChurnConfig, convergeRounds, settleRounds int) (
 	sc, err := New(cfg)
 	if err != nil {
 		return ChurnOutcome{}, err
+	}
+	if cfg.Engine == nil {
+		defer sc.Close()
 	}
 	sc.Run(convergeRounds)
 
@@ -87,6 +92,14 @@ type ChurnSweepOpts struct {
 	// ExchangeParallelism caps per-rate intra-round exchange workers; see
 	// RunOpts.ExchangeParallelism (0 keeps the sequential engine).
 	ExchangeParallelism int
+	// MemBudgetBytes bounds concurrent rates by estimated engine
+	// footprint and CellBytes overrides the per-cell estimate; see the
+	// same fields on RunOpts.
+	MemBudgetBytes int64
+	CellBytes      int64
+	// PoolEngines recycles engines across rates via sim.Engine.Reset;
+	// see RunOpts.PoolEngines.
+	PoolEngines bool
 }
 
 // ChurnSweep measures shape survival across churn rates, one outcome per
@@ -95,12 +108,24 @@ type ChurnSweepOpts struct {
 // rate's index, so the output is deterministic regardless of scheduling.
 func ChurnSweep(base Config, rates []float64, opts ChurnSweepOpts) ([]ChurnOutcome, error) {
 	outs := make([]ChurnOutcome, len(rates))
-	cellPar, exPar := runner.ComposeBudget(opts.Parallelism, len(rates), opts.ExchangeParallelism)
+	est := base
+	est.Polystyrene = true
+	run := RunOpts{
+		Parallelism:         opts.Parallelism,
+		ExchangeParallelism: opts.ExchangeParallelism,
+		MemBudgetBytes:      opts.MemBudgetBytes,
+		CellBytes:           opts.CellBytes,
+		PoolEngines:         opts.PoolEngines,
+	}
+	cellPar, exPar := run.compose(len(rates), est.EstimatedFootprintBytes())
+	pool := run.pool()
+	defer pool.drain()
 	err := runner.Map(cellPar, len(rates), func(i int) error {
 		cfg := base
 		cfg.Seed = base.Seed + uint64(i)
 		cfg.Polystyrene = true
 		cfg.ExchangeParallelism = exPar
+		defer pool.acquire(&cfg)()
 		out, err := RunChurn(cfg,
 			ChurnConfig{Rate: rates[i], Replace: true, Rounds: opts.ChurnRounds},
 			opts.ConvergeRounds, opts.SettleRounds)

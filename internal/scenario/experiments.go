@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"polystyrene/internal/metrics"
 	"polystyrene/internal/runner"
@@ -64,12 +65,17 @@ type ReshapingOutcome struct {
 
 // MeasureReshaping converges a fresh system for convergeRounds, triggers
 // the half-torus catastrophe, and counts the rounds needed for the
-// homogeneity to drop below the reference value (Sec. IV-A).
+// homogeneity to drop below the reference value (Sec. IV-A). An engine it
+// allocates itself is closed before returning (a supplied cfg.Engine
+// stays open — the pooling caller owns it).
 func MeasureReshaping(cfg Config, convergeRounds, maxRounds int) (ReshapingOutcome, error) {
 	cfg.SkipMetrics = true
 	sc, err := New(cfg)
 	if err != nil {
 		return ReshapingOutcome{}, err
+	}
+	if cfg.Engine == nil {
+		defer sc.Close()
 	}
 	sc.Run(convergeRounds)
 	sc.FailRightHalf()
@@ -104,16 +110,103 @@ type RunOpts struct {
 	// 0 (the default) keeps cells on the legacy sequential engine; any
 	// value >= 1 switches cells to the batched engine, whose results are
 	// byte-identical at every worker count >= 1. The harness composes the
-	// two levels under one budget (runner.ComposeBudget): cells fan out
-	// first, leftover cores go to exchange workers up to this cap, so the
-	// actual per-cell worker count never changes results.
+	// two levels under one budget (runner.Budget): cells fan out first,
+	// leftover cores go to exchange workers up to this cap, so the actual
+	// per-cell worker count never changes results.
 	ExchangeParallelism int
+	// MemBudgetBytes additionally bounds concurrent cells by their
+	// estimated engine footprint: at most MemBudgetBytes / cell-bytes
+	// cells run at once (always at least one). 0 means unbounded. Every
+	// cell still runs — a tight budget trades throughput, never coverage
+	// or results.
+	MemBudgetBytes int64
+	// CellBytes overrides the per-cell footprint estimate used with
+	// MemBudgetBytes; 0 derives it from the harness's largest cell via
+	// Config.EstimatedFootprintBytes.
+	CellBytes int64
+	// PoolEngines recycles engines across cells of equal size via
+	// sim.Engine.Reset instead of allocating one per cell, bounding a
+	// sweep's engine footprint by its concurrency rather than its cell
+	// count. Results are byte-identical either way (pinned by the
+	// pooled-sweep identity test).
+	PoolEngines bool
 }
 
 // compose splits the machine budget between concurrent cells and per-cell
-// exchange workers for a harness about to run `jobs` cells.
-func (o RunOpts) compose(jobs int) (cellPar, exPar int) {
-	return runner.ComposeBudget(o.Parallelism, jobs, o.ExchangeParallelism)
+// exchange workers for a harness about to run `jobs` cells, each costing
+// an estimated cellBytes (overridden by opts.CellBytes when set).
+func (o RunOpts) compose(jobs int, cellBytes int64) (cellPar, exPar int) {
+	if o.CellBytes > 0 {
+		cellBytes = o.CellBytes
+	}
+	return runner.Budget{
+		Workers:     o.Parallelism,
+		ExchangeCap: o.ExchangeParallelism,
+		MemBytes:    o.MemBudgetBytes,
+		JobBytes:    cellBytes,
+	}.Split(jobs)
+}
+
+// enginePool recycles engines across the cells of one sweep, keyed by
+// initial node count so equal-size cells reuse fully-sized backing
+// arrays. Concurrent cells each hold a distinct engine; a cell that finds
+// the pool empty gets a fresh engine that joins the pool when it is
+// released. drain closes every pooled engine (releasing parked exchange
+// workers) once the sweep has folded its results.
+type enginePool struct {
+	mu   sync.Mutex
+	free map[int][]*sim.Engine
+}
+
+// acquire hands cfg a pooled engine (pool == nil means pooling is off and
+// acquire is a no-op) and returns the release that parks it back.
+func (p *enginePool) acquire(cfg *Config) (release func()) {
+	if p == nil {
+		return func() {}
+	}
+	c := cfg.withDefaults()
+	nodes := c.W * c.H
+	p.mu.Lock()
+	var eng *sim.Engine
+	if l := p.free[nodes]; len(l) > 0 {
+		eng = l[len(l)-1]
+		p.free[nodes] = l[:len(l)-1]
+	}
+	p.mu.Unlock()
+	if eng == nil {
+		eng = sim.New(0)
+	}
+	cfg.Engine = eng
+	return func() {
+		p.mu.Lock()
+		if p.free == nil {
+			p.free = make(map[int][]*sim.Engine)
+		}
+		p.free[nodes] = append(p.free[nodes], eng)
+		p.mu.Unlock()
+	}
+}
+
+func (p *enginePool) drain() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, l := range p.free {
+		for _, e := range l {
+			e.Close()
+		}
+	}
+	p.free = nil
+}
+
+// pool returns the sweep-lifetime engine pool, nil when pooling is off.
+func (o RunOpts) pool() *enginePool {
+	if !o.PoolEngines {
+		return nil
+	}
+	return &enginePool{}
 }
 
 // TableIIRow aggregates repeated reshaping measurements for one K.
@@ -132,7 +225,11 @@ type TableIIRow struct {
 func TableII(base Config, ks []int, opts RunOpts) ([]TableIIRow, error) {
 	rows := make([]TableIIRow, len(ks))
 	outcomes := make([]ReshapingOutcome, len(ks)*opts.Reps)
-	cellPar, exPar := opts.compose(len(outcomes))
+	est := base
+	est.Polystyrene = true
+	cellPar, exPar := opts.compose(len(outcomes), est.EstimatedFootprintBytes())
+	pool := opts.pool()
+	defer pool.drain()
 	err := runner.Map(cellPar, len(outcomes), func(job int) error {
 		k := ks[job/opts.Reps]
 		rep := job % opts.Reps
@@ -141,6 +238,7 @@ func TableII(base Config, ks []int, opts RunOpts) ([]TableIIRow, error) {
 		cfg.K = k
 		cfg.ExchangeParallelism = exPar
 		cfg.Seed = base.Seed + uint64(1000*k+rep)
+		defer pool.acquire(&cfg)()
 		out, err := MeasureReshaping(cfg, opts.ConvergeRounds, opts.MaxRounds)
 		if err != nil {
 			return err
@@ -219,7 +317,16 @@ func SizeSweep(base Config, sizes []GridSize, variants map[string]func(Config) C
 	}
 
 	rounds := make([]float64, len(cells))
-	cellPar, exPar := opts.compose(len(cells))
+	est := base
+	est.Polystyrene = true
+	for _, size := range sizes {
+		if size.W*size.H > est.W*est.H {
+			est.W, est.H = size.W, size.H
+		}
+	}
+	cellPar, exPar := opts.compose(len(cells), est.EstimatedFootprintBytes())
+	pool := opts.pool()
+	defer pool.drain()
 	err := runner.Map(cellPar, len(cells), func(i int) error {
 		c := cells[i]
 		cfg := variants[c.label](base)
@@ -227,6 +334,7 @@ func SizeSweep(base Config, sizes []GridSize, variants map[string]func(Config) C
 		cfg.W, cfg.H = c.size.W, c.size.H
 		cfg.ExchangeParallelism = exPar
 		cfg.Seed = base.Seed + uint64(c.size.W*c.size.H+c.rep)
+		defer pool.acquire(&cfg)()
 		res, err := MeasureReshaping(cfg, opts.ConvergeRounds, opts.MaxRounds)
 		if err != nil {
 			return err

@@ -1,0 +1,55 @@
+package scenario
+
+import "testing"
+
+// TestHoldersIndexTrimsAfterRecoveryWaves is the memory soak for the
+// holders index at 12,800 nodes (160x80): repeated half-torus
+// catastrophes make every surviving point's holder list balloon — one
+// holder appended at a time as ghosts reactivate, doubling each list's
+// backing array — and before the decaying high-water-mark trim those
+// wave-peak capacities stayed pinned for the rest of the run (~3x the
+// entry count after two waves). The test drives two full
+// catastrophe/recovery/reinjection waves and pins the discipline: the
+// index balloons during each wave, and once the system settles the total
+// capacity is trimmed back under the holderTrimSlack bound of ~2x the
+// live entry count.
+func TestHoldersIndexTrimsAfterRecoveryWaves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("12,800-node soak run")
+	}
+	sc := MustNew(Config{Seed: 3, W: 160, H: 80, Polystyrene: true, K: 4, SkipMetrics: true})
+	defer sc.Close()
+	sc.Run(10)
+
+	peakCap := 0
+	for wave := 0; wave < 2; wave++ {
+		killed := sc.FailRightHalf()
+		for r := 0; r < 10; r++ {
+			sc.Run(1)
+			if _, c, _ := sc.Poly().HoldersIndexFootprint(); c > peakCap {
+				peakCap = c
+			}
+		}
+		sc.Reinject(killed)
+		sc.Run(10)
+	}
+	sc.Run(6) // several calm trim windows close here
+
+	entries, capacity, slackBound := sc.Poly().HoldersIndexFootprint()
+	if entries < len(sc.Points)*9/10 {
+		t.Fatalf("only %d live holder entries for %d points; the soak did not recover", entries, len(sc.Points))
+	}
+	// The trim discipline's exact promise: every allocated list keeps at
+	// most max(2, 2*len) capacity once calm windows have closed. (The
+	// untrimmed regression settled around 3x the entry count — well above
+	// this bound.)
+	if capacity > slackBound {
+		t.Errorf("settled holders capacity %d exceeds the slack bound %d (entries %d) — the trim is not engaging",
+			capacity, slackBound, entries)
+	}
+	// And the settle must actually have decayed the wave peak (the
+	// untrimmed regression kept ~all of it).
+	if capacity >= peakCap {
+		t.Errorf("settled holders capacity %d did not drop below the wave peak %d", capacity, peakCap)
+	}
+}

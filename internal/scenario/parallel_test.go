@@ -10,14 +10,20 @@ import (
 )
 
 // paperRun executes a compressed 3-phase paper scenario and returns its
-// full per-round metric record plus the final reliability.
+// full per-round metric record plus the final reliability. Scenarios it
+// owns are closed (their exchange workers released); a caller-supplied
+// cfg.Engine stays open for reuse.
 func paperRun(t *testing.T, cfg Config) (*Result, float64) {
 	t.Helper()
 	sc, res, err := RunPaper(cfg, Phases{FailAt: 8, ReinjectAt: 20, End: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return res, sc.Reliability()
+	rel := sc.Reliability()
+	if cfg.Engine == nil {
+		sc.Close()
+	}
+	return res, rel
 }
 
 // TestExchangeParallelismByteIdentical pins the tentpole's determinism

@@ -69,6 +69,13 @@ type Config struct {
 	// knob only); 0 keeps the legacy sequential engine, whose trajectory
 	// differs. See sim.SetExchangeParallelism.
 	ExchangeParallelism int
+	// Engine, when non-nil, is reused via sim.Engine.Reset(Seed, layers)
+	// instead of allocating a fresh engine — the pooled-cell path of the
+	// sweep harnesses, which recycles one engine across cells of equal
+	// size. A reset engine's trajectory is byte-identical to a fresh
+	// one's. The caller keeps ownership: Close is never called on a
+	// supplied engine.
+	Engine *sim.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -199,7 +206,12 @@ func New(cfg Config) (*Scenario, error) {
 		sc.sys = &tmanSystem{sc: sc}
 	}
 
-	sc.Engine = sim.New(cfg.Seed, layers...)
+	if cfg.Engine != nil {
+		cfg.Engine.Reset(cfg.Seed, layers...)
+		sc.Engine = cfg.Engine
+	} else {
+		sc.Engine = sim.New(cfg.Seed, layers...)
+	}
 	sc.Engine.SetExchangeParallelism(cfg.ExchangeParallelism)
 	if !cfg.SkipMetrics {
 		sc.Engine.Observe(sc.record)
@@ -256,6 +268,38 @@ func (sc *Scenario) position(id sim.NodeID) space.Point {
 
 // Run executes n rounds.
 func (sc *Scenario) Run(n int) { sc.Engine.RunRounds(n) }
+
+// Close releases the engine's persistent exchange-worker pool. Call it
+// when discarding a scenario whose ExchangeParallelism was >= 2 (the
+// sweep harnesses do this for the scenarios they own); it is idempotent
+// and a no-op for sequential configurations. The scenario stays readable
+// — metrics, snapshots and even further (inline-executed) rounds all
+// still work.
+func (sc *Scenario) Close() { sc.Engine.Close() }
+
+// estFootprintBytesPerNodeLayer is the heuristic behind
+// EstimatedFootprintBytes: the mean resident bytes one node of one
+// protocol layer costs (views, guest/ghost sets, pooled scratch,
+// engine bookkeeping), calibrated against heap profiles of converged
+// mid-size runs. Deliberately a little generous: the estimate bounds
+// sweep parallelism, where overshooting trades throughput and
+// undershooting trades the machine.
+const estFootprintBytesPerNodeLayer = 768
+
+// EstimatedFootprintBytes estimates the resident memory of one running
+// cell of this configuration: nodes x protocol-layer count x a per-node
+// constant. It is the default per-cell cost the memory-budgeted sweep
+// harnesses (RunOpts.MemBudgetBytes) divide their budget by; override it
+// with a measured value via RunOpts.CellBytes when the heuristic is off
+// for a workload.
+func (c Config) EstimatedFootprintBytes() int64 {
+	c = c.withDefaults()
+	layers := int64(2) // sampler + overlay
+	if c.Polystyrene {
+		layers++
+	}
+	return int64(c.W) * int64(c.H) * layers * estFootprintBytesPerNodeLayer
+}
 
 // FailRightHalf crashes every live node currently positioned in the right
 // half of the torus — the catastrophic correlated failure of Fig. 1 and

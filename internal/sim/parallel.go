@@ -29,6 +29,18 @@ package sim
 //     (meter charges, the core layer's holder-index ops, applied in step
 //     order) and only then opens the next batch.
 //
+// The worker pool is persistent: SetExchangeParallelism(n) keeps n-1 pool
+// goroutines (the engine goroutine itself executes as worker slot 0)
+// parked on per-worker wake channels across batches, rounds and even
+// Engine.Reset, so dispatching a batch costs a few channel operations
+// instead of goroutine spawns. Batches below a threshold — the tail of a
+// round, where the greedy matcher is down to a handful of conflicting
+// stragglers — are coalesced onto the inline slot-0 path and skip the
+// dispatch entirely (see SetTailCoalescing); because admitted steps are
+// node-disjoint and randomness is pre-split, the execution vehicle is
+// unobservable and results stay byte-identical with coalescing on or off,
+// at every worker count, and across pool resizes.
+//
 // Execution replays the plan: StepW re-derives the selected peer from the
 // same stream state PlanStep saw, so the plan stores nothing and the two
 // cannot drift without tripping the StepCtx.Touch assertion, which panics
@@ -41,7 +53,6 @@ package sim
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"polystyrene/internal/genset"
@@ -238,7 +249,14 @@ type PlanInvariant interface {
 // count is a throughput knob, not a semantic one — but the batched
 // trajectory differs from the sequential one (randomness is pre-split per
 // step instead of drawn from one shared stream), so 0 and 1 are different
-// runs. Call it before RunRounds or between rounds, never mid-round.
+// runs. Call it before RunRounds or between rounds, never mid-round;
+// resizing between rounds never changes results.
+//
+// The call resizes the engine's persistent worker pool to n-1 parked
+// goroutines (the engine goroutine executes as worker slot 0). Shrinking
+// joins the retired goroutines before returning; an engine configured
+// with n >= 2 holds pool goroutines until SetExchangeParallelism(1 or 0)
+// or Close releases them.
 func (e *Engine) SetExchangeParallelism(n int) {
 	if n < 0 {
 		n = 0
@@ -247,6 +265,118 @@ func (e *Engine) SetExchangeParallelism(n int) {
 	for len(e.wctx) < n {
 		e.wctx = append(e.wctx, &StepCtx{e: e, rng: xrand.New(0), worker: len(e.wctx), batched: true})
 	}
+	e.resizePool(n - 1)
+}
+
+// SetTailCoalescing sets the smallest batch size worth dispatching to the
+// worker pool: batches with fewer admitted steps — typically the tail of
+// a round, where only conflicting stragglers remain — execute inline on
+// the engine goroutine (worker slot 0) and skip the wake/park round-trip.
+// minBatch == 1 disables coalescing (every batch is dispatched while the
+// pool is non-empty); minBatch <= 0 restores the default of twice the
+// worker count. The threshold is a pure throughput knob: the batch
+// partition is unchanged and admitted steps are node-disjoint, so results
+// are byte-identical at every setting.
+func (e *Engine) SetTailCoalescing(minBatch int) {
+	if minBatch < 0 {
+		minBatch = 0
+	}
+	e.coalesceMin = minBatch
+}
+
+// TailCoalescing returns the configured coalescing threshold (0 = the
+// default of twice the worker count).
+func (e *Engine) TailCoalescing() int { return e.coalesceMin }
+
+// dispatchMin returns the effective smallest batch size handed to the
+// pool; smaller batches run inline on slot 0.
+func (e *Engine) dispatchMin() int {
+	if e.coalesceMin != 0 {
+		return e.coalesceMin
+	}
+	return 2 * (len(e.pool.workers) + 1)
+}
+
+// Close releases the engine's pool goroutines (joining them before it
+// returns) and is idempotent. The engine stays usable — batched passes
+// simply execute inline on the engine goroutine, which is byte-identical
+// — and a later SetExchangeParallelism call re-spawns the pool. Call it
+// when discarding an engine configured with exchange parallelism >= 2, or
+// its parked workers outlive the engine's last use.
+func (e *Engine) Close() { e.resizePool(0) }
+
+// exWorker is one parked pool goroutine: wake hands it the open batch
+// (closing the channel retires it), exited confirms it is gone.
+type exWorker struct {
+	wake   chan struct{}
+	exited chan struct{}
+}
+
+// exPool is the engine's persistent exchange-worker pool. The engine
+// goroutine doubles as worker slot 0, so workers[i] executes with step
+// context e.wctx[i+1]; bp and next carry the open batch's layer and claim
+// counter from the dispatching engine to the woken workers (the wake send
+// publishes them, the done receive collects the workers' writes).
+type exPool struct {
+	workers []*exWorker
+	done    chan struct{}
+	next    atomic.Int64
+	bp      Batched
+}
+
+// resizePool grows or shrinks the pool to n parked goroutines. Shrinking
+// closes the retired workers' wake channels and waits for each to exit,
+// so callers observe real goroutine counts (no leak window). Never call
+// it mid-round: workers must be parked.
+func (e *Engine) resizePool(n int) {
+	if n < 0 {
+		n = 0
+	}
+	p := &e.pool
+	if p.done == nil {
+		p.done = make(chan struct{})
+	}
+	for len(p.workers) < n {
+		w := &exWorker{wake: make(chan struct{}, 1), exited: make(chan struct{})}
+		p.workers = append(p.workers, w)
+		go e.poolWorker(e.wctx[len(p.workers)], w)
+	}
+	for len(p.workers) > n {
+		w := p.workers[len(p.workers)-1]
+		close(w.wake)
+		<-w.exited
+		p.workers = p.workers[:len(p.workers)-1]
+	}
+}
+
+// poolWorker is the body of one pool goroutine: park on wake, drain the
+// open batch, report done, park again. It exits when wake is closed.
+func (e *Engine) poolWorker(ctx *StepCtx, w *exWorker) {
+	defer close(w.exited)
+	for range w.wake {
+		e.runBatchSteps(e.pool.bp, ctx)
+		e.pool.done <- struct{}{}
+	}
+}
+
+// runBatchSteps claims steps of the open batch off the shared counter and
+// executes them under ctx until the batch is drained. The claiming order
+// is nondeterministic, which is safe precisely because admitted steps are
+// node-disjoint.
+func (e *Engine) runBatchSteps(bp Batched, ctx *StepCtx) {
+	bs := &e.bs
+	for {
+		k := int(e.pool.next.Add(1)) - 1
+		if k >= len(bs.batch) {
+			break
+		}
+		pe := bs.batch[k]
+		ctx.rng.Reseed(bs.seeds[pe.si])
+		ctx.planned = bs.arena[pe.off : pe.off+pe.n]
+		ctx.step = int(pe.si)
+		bp.StepW(ctx, e.order[pe.si])
+	}
+	ctx.planned = nil
 }
 
 // ExchangeParallelism returns the configured exchange worker count (0 =
@@ -367,18 +497,32 @@ func (e *Engine) runBatched(bp Batched) {
 	bp.EndBatchedRound(e)
 }
 
-// execBatch steps every admitted step of the open batch across the worker
-// pool and waits at the barrier. Steps are claimed by atomic counter —
-// the claiming order is nondeterministic, which is safe precisely because
-// admitted steps are node-disjoint — and per-worker meter charges are
-// flushed after the barrier (sums commute).
+// execBatch steps every admitted step of the open batch and waits at the
+// barrier. Batches of at least dispatchMin steps wake helpers from the
+// persistent pool (the engine claims steps too, as slot 0); smaller ones
+// — the coalesced tail — run inline on slot 0 with no dispatch at all.
+// Per-worker meter charges are flushed after the barrier (sums commute).
 func (e *Engine) execBatch(bp Batched) {
 	bs := &e.bs
-	workers := e.exWorkers
-	if workers > len(bs.batch) {
-		workers = len(bs.batch)
+	n := len(bs.batch)
+	if n == 0 {
+		return
 	}
-	if workers <= 1 {
+	helpers := len(e.pool.workers)
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	if helpers > 0 && n >= e.dispatchMin() {
+		e.pool.bp = bp
+		e.pool.next.Store(0)
+		for w := 0; w < helpers; w++ {
+			e.pool.workers[w].wake <- struct{}{}
+		}
+		e.runBatchSteps(bp, e.wctx[0])
+		for w := 0; w < helpers; w++ {
+			<-e.pool.done
+		}
+	} else {
 		ctx := e.wctx[0]
 		for _, pe := range bs.batch {
 			ctx.rng.Reseed(bs.seeds[pe.si])
@@ -387,33 +531,11 @@ func (e *Engine) execBatch(bp Batched) {
 			bp.StepW(ctx, e.order[pe.si])
 		}
 		ctx.planned = nil
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(ctx *StepCtx) {
-				defer wg.Done()
-				for {
-					k := int(next.Add(1)) - 1
-					if k >= len(bs.batch) {
-						ctx.planned = nil
-						return
-					}
-					pe := bs.batch[k]
-					ctx.rng.Reseed(bs.seeds[pe.si])
-					ctx.planned = bs.arena[pe.off : pe.off+pe.n]
-					ctx.step = int(pe.si)
-					bp.StepW(ctx, e.order[pe.si])
-				}
-			}(e.wctx[w])
-		}
-		wg.Wait()
 	}
-	for w := 0; w < e.exWorkers; w++ {
-		if c := e.wctx[w].cost; c != 0 {
-			e.meter.charge(e.curLayer, e.round, c)
-			e.wctx[w].cost = 0
+	for _, ctx := range e.wctx {
+		if ctx.cost != 0 {
+			e.meter.charge(e.curLayer, e.round, ctx.cost)
+			ctx.cost = 0
 		}
 	}
 }

@@ -60,6 +60,7 @@ func (p *pairProto) Step(e *Engine, id NodeID) { p.StepW(e.SeqCtx(), id) }
 
 func (p *pairProto) StepW(ctx *StepCtx, id NodeID) {
 	e := ctx.Engine()
+	p.noteExec(ctx, id)
 	q := p.pickPeer(e, ctx.Rand(), id)
 	if q == None {
 		return
@@ -74,9 +75,21 @@ func (p *pairProto) StepW(ctx *StepCtx, id NodeID) {
 	ctx.Charge(int(id%7) + 1)
 }
 
+// noteExec counts the step's execution for the exactly-once coverage
+// check — before peer selection, so a step that finds no live partner
+// (a near-empty system) still registers.
+func (p *pairProto) noteExec(ctx *StepCtx, id NodeID) {
+	if !ctx.Batched() {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.execCount[id]++
+}
+
 // note records the step's touched nodes and fails the test if the open
 // batch already claimed either (i.e. the scheduler admitted conflicting
-// steps), or if a node steps twice in one round.
+// steps).
 func (p *pairProto) note(ctx *StepCtx, id, q NodeID) {
 	if !ctx.Batched() {
 		return
@@ -89,7 +102,6 @@ func (p *pairProto) note(ctx *StepCtx, id, q NodeID) {
 		}
 		p.batchNodes[n] = ctx.StepIndex()
 	}
-	p.execCount[id]++
 }
 
 func (p *pairProto) Batchable() bool                          { return true }
@@ -136,6 +148,15 @@ func runPairSim(t *testing.T, workers int) (*pairProto, *Engine) {
 	if err := e.ScheduleAt(6, func(e *Engine) { e.AddNodes(75) }); err != nil {
 		t.Fatal(err)
 	}
+	observeExactlyOnce(t, e, proto)
+	t.Cleanup(e.Close)
+	e.RunRounds(10)
+	return proto, e
+}
+
+// observeExactlyOnce registers the exactly-once-per-round coverage check:
+// every live node steps exactly once, every round.
+func observeExactlyOnce(t testing.TB, e *Engine, proto *pairProto) {
 	e.Observe(func(e *Engine, round int) {
 		proto.mu.Lock()
 		defer proto.mu.Unlock()
@@ -149,8 +170,6 @@ func runPairSim(t *testing.T, workers int) (*pairProto, *Engine) {
 		}
 		clear(proto.execCount)
 	})
-	e.RunRounds(10)
-	return proto, e
 }
 
 // TestBatchedCoverageAndDisjointness pins the matcher's two invariants on

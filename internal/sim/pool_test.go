@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"polystyrene/internal/xrand"
+)
+
+// churnyPairSim assembles the scripted churny run of runPairSim without
+// executing it, so tests can drive rounds and resize the pool themselves.
+func churnyPairSim(t testing.TB, seed uint64, nodes, workers int) (*pairProto, *Engine) {
+	t.Helper()
+	proto := newPairProto("pairs", func(format string, args ...any) { t.Errorf(format, args...) })
+	e := New(seed, proto)
+	e.SetExchangeParallelism(workers)
+	e.AddNodes(nodes)
+	if err := e.ScheduleAt(3, func(e *Engine) {
+		for id := NodeID(nodes / 8); id < NodeID(nodes*5/8); id++ {
+			e.Kill(id)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ScheduleAt(6, func(e *Engine) { e.AddNodes(nodes / 4) }); err != nil {
+		t.Fatal(err)
+	}
+	observeExactlyOnce(t, e, proto)
+	t.Cleanup(e.Close)
+	return proto, e
+}
+
+// waitGoroutines retries until the process goroutine count settles at
+// want: a retired pool worker has confirmed its exit before resizePool
+// returns, but the runtime may decrement the count a moment later.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got := runtime.NumGoroutine(); got == want {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutine count = %d, want %d", got, want)
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWorkerPoolLifecycle pins the persistent pool's goroutine
+// accounting: SetExchangeParallelism(n) parks exactly n-1 workers, they
+// stay parked across rounds (no per-batch spawns), resizing down joins
+// the retired workers, and Close (idempotent) releases them all — no
+// leak, asserted via runtime.NumGoroutine deltas.
+func TestWorkerPoolLifecycle(t *testing.T) {
+	base := runtime.NumGoroutine()
+	_, e := churnyPairSim(t, 0xfeedbeef, 240, 6)
+	waitGoroutines(t, base+5)
+
+	e.RunRounds(4)
+	waitGoroutines(t, base+5) // parked between rounds, not respawned
+
+	e.SetExchangeParallelism(2)
+	waitGoroutines(t, base+1)
+	e.RunRounds(2)
+
+	e.SetExchangeParallelism(8)
+	waitGoroutines(t, base+7)
+	e.RunRounds(2)
+
+	e.Close()
+	waitGoroutines(t, base)
+	e.Close() // idempotent
+	waitGoroutines(t, base)
+
+	// A closed engine stays usable: batched passes execute inline.
+	e.RunRounds(2)
+	waitGoroutines(t, base)
+
+	// And re-configuring re-spawns a fresh pool.
+	e.SetExchangeParallelism(3)
+	waitGoroutines(t, base+2)
+	e.RunRounds(1)
+}
+
+// TestWorkerPoolResizeMidRunByteIdentical pins that resizing the pool
+// between rounds — up, down, to sequential-batched (1) and back — leaves
+// the trajectory byte-identical to a constant-worker run: the partition
+// and the pre-split randomness never depend on the pool size.
+func TestWorkerPoolResizeMidRunByteIdentical(t *testing.T) {
+	protoRef, eRef := churnyPairSim(t, 0xfeedbeef, 240, 1)
+	eRef.RunRounds(10)
+	ref := protoRef.fingerprint()
+
+	schedule := map[int]int{1: 4, 3: 2, 5: 8, 7: 1, 8: 3}
+	proto, e := churnyPairSim(t, 0xfeedbeef, 240, 2)
+	e.Observe(func(e *Engine, round int) {
+		if w, ok := schedule[round]; ok {
+			e.SetExchangeParallelism(w)
+		}
+	})
+	e.RunRounds(10)
+	if got := proto.fingerprint(); got != ref {
+		t.Errorf("resized run fingerprint %#x, want %#x", got, ref)
+	}
+	for r := 0; r < 10; r++ {
+		if got, want := e.Meter().RoundCost("pairs", r), eRef.Meter().RoundCost("pairs", r); got != want {
+			t.Errorf("round %d: cost %d, want %d", r, got, want)
+		}
+	}
+}
+
+// TestTailCoalescingByteIdentical pins the coalescing knob's determinism
+// contract: for a fixed seed, results are identical with coalescing off
+// (minBatch 1), at the default threshold, at an aggressive threshold and
+// with every batch coalesced (huge threshold: the pool is never woken) —
+// across worker counts. The partition is unchanged; only the execution
+// vehicle differs.
+func TestTailCoalescingByteIdentical(t *testing.T) {
+	run := func(workers, minBatch int) uint64 {
+		proto, e := churnyPairSim(t, 0xabcdef99, 300, workers)
+		e.SetTailCoalescing(minBatch)
+		e.RunRounds(10)
+		return proto.fingerprint()
+	}
+	ref := run(1, 1)
+	for _, workers := range []int{1, 2, 4} {
+		for _, minBatch := range []int{1, 0, 8, 1 << 20} {
+			if got := run(workers, minBatch); got != ref {
+				t.Errorf("workers=%d minBatch=%d: fingerprint %#x, want %#x",
+					workers, minBatch, got, ref)
+			}
+		}
+	}
+}
+
+// quietProto is pairProto's uninstrumented twin for allocation
+// measurements: same exchange physics, no mutex, no maps, no recording.
+type quietProto struct {
+	vals []uint64
+}
+
+var _ Batched = (*quietProto)(nil)
+
+func (p *quietProto) Name() string { return "quiet" }
+
+func (p *quietProto) InitNode(e *Engine, id NodeID) {
+	for len(p.vals) <= int(id) {
+		p.vals = append(p.vals, uint64(len(p.vals))*0x9e3779b97f4a7c15)
+	}
+}
+
+func (p *quietProto) Step(e *Engine, id NodeID) { p.StepW(e.SeqCtx(), id) }
+
+func (p *quietProto) StepW(ctx *StepCtx, id NodeID) {
+	e := ctx.Engine()
+	if e.NumLive() < 2 {
+		return
+	}
+	var q NodeID
+	for {
+		if q = e.LiveAt(ctx.Rand().Intn(e.NumLive())); q != id {
+			break
+		}
+	}
+	ctx.Touch(q)
+	a, b := p.vals[id], p.vals[q]
+	p.vals[id] = a*1099511628211 ^ b
+	p.vals[q] = b*1099511628211 ^ a
+	ctx.Charge(1)
+}
+
+func (p *quietProto) Batchable() bool                          { return true }
+func (p *quietProto) BeginBatchedRound(e *Engine, workers int) {}
+
+func (p *quietProto) PlanStep(e *Engine, rng *xrand.Rand, id NodeID, dst []NodeID) []NodeID {
+	dst = append(dst, id)
+	if e.NumLive() < 2 {
+		return dst
+	}
+	for {
+		if q := e.LiveAt(rng.Intn(e.NumLive())); q != id {
+			return append(dst, q)
+		}
+	}
+}
+
+func (p *quietProto) FlushBatch(e *Engine)      {}
+func (p *quietProto) EndBatchedRound(e *Engine) {}
+
+// TestBatchSchedulerSteadyStateAllocs pins the tentpole's allocation
+// contract: a warmed batched round spawns no goroutines and allocates
+// O(1) — the pool is persistent and every scheduling buffer is pooled.
+// (The PR 4 scheduler spawned per-batch goroutines: tens of allocations
+// per round at this scale, hundreds at 51,200 nodes.)
+func TestBatchSchedulerSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("AllocsPerRun is unreliable under -race; the race step runs -short")
+	}
+	proto := &quietProto{}
+	e := New(99, proto)
+	e.SetExchangeParallelism(4)
+	defer e.Close()
+	e.AddNodes(1024)
+	e.RunRounds(5) // warm every pooled buffer
+	avg := testing.AllocsPerRun(20, func() { e.RunRounds(1) })
+	// The only allowed steady-state growth is the meter ledger's
+	// amortised one-entry-per-round append.
+	if avg > 4 {
+		t.Errorf("steady-state batched round allocates %.1f objects/round, want O(1)", avg)
+	}
+}
+
+// FuzzBatchCoalesce drives the scripted exchange protocol over fuzzed
+// (worker count, coalescing threshold, population, churn) and pins the
+// scheduler's invariants at every point: batches stay node-disjoint and
+// every live node steps exactly once per round (pairProto's checks), and
+// the final state and ledger are byte-identical to the single-worker,
+// never-coalescing reference — the determinism contract over the whole
+// (batch partition x execution vehicle) space.
+func FuzzBatchCoalesce(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(0), uint8(50), uint8(20))
+	f.Add(uint64(0xfeedbeef), uint8(2), uint8(1), uint8(200), uint8(3))
+	f.Add(uint64(42), uint8(7), uint8(255), uint8(90), uint8(70))
+	f.Add(uint64(7777), uint8(1), uint8(16), uint8(2), uint8(0))
+	f.Fuzz(func(t *testing.T, seed uint64, workers, minBatch, nodes, churn uint8) {
+		n := int(nodes)%200 + 2
+		run := func(w, coalesce int) (uint64, int) {
+			proto := newPairProto("pairs", func(format string, args ...any) { t.Errorf(format, args...) })
+			e := New(seed, proto)
+			e.SetExchangeParallelism(w)
+			e.SetTailCoalescing(coalesce)
+			defer e.Close()
+			e.AddNodes(n)
+			kills := int(churn) % n
+			if err := e.ScheduleAt(2, func(e *Engine) {
+				for id := NodeID(0); id < NodeID(kills); id++ {
+					e.Kill(id)
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.ScheduleAt(4, func(e *Engine) { e.AddNodes(kills / 2) }); err != nil {
+				t.Fatal(err)
+			}
+			observeExactlyOnce(t, e, proto)
+			e.RunRounds(6)
+			return proto.fingerprint(), e.Meter().TotalCost("pairs")
+		}
+		refFp, refCost := run(1, 1)
+		gotFp, gotCost := run(int(workers)%8+1, int(minBatch))
+		if gotFp != refFp {
+			t.Errorf("workers=%d minBatch=%d: state fingerprint %#x, want %#x",
+				int(workers)%8+1, int(minBatch), gotFp, refFp)
+		}
+		if gotCost != refCost {
+			t.Errorf("workers=%d minBatch=%d: total cost %d, want %d",
+				int(workers)%8+1, int(minBatch), gotCost, refCost)
+		}
+	})
+}

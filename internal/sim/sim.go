@@ -14,11 +14,21 @@
 // exchanges are pair-atomic, steps touching disjoint node sets commute,
 // and SetExchangeParallelism opts a run into intra-round batching: a
 // deterministic greedy matcher partitions each round's shuffled step order
-// into batches of node-disjoint exchanges that execute across a bounded
-// worker pool (see parallel.go). Same-seed results are then byte-identical
-// at every worker count, though the batched trajectory differs from the
-// sequential one (per-step randomness is pre-split instead of drawn from
-// one shared stream).
+// into batches of node-disjoint exchanges that execute across a persistent
+// worker pool — n-1 goroutines parked on wake channels across batches and
+// rounds, the engine goroutine itself being worker slot 0 — while batches
+// below a threshold (the conflict-bound tail of a round) coalesce onto the
+// inline slot-0 path and skip the dispatch (see parallel.go,
+// SetTailCoalescing). Same-seed results are byte-identical at every worker
+// count and every coalescing threshold, though the batched trajectory
+// differs from the sequential one (per-step randomness is pre-split
+// instead of drawn from one shared stream).
+//
+// Engines are reusable: Engine.Reset(seed, layers...) returns one to its
+// freshly-constructed state while keeping every grown backing array and
+// the parked worker pool, which is how sweep harnesses run many same-size
+// cells without per-cell engine allocations. Engines configured with
+// exchange parallelism >= 2 hold pool goroutines; Close releases them.
 //
 // The engine is built for full-paper-scale (51,200-node) sweeps: the live
 // population is tracked in a dense swap-remove set so RandomLive is O(1)
@@ -94,11 +104,16 @@ type Engine struct {
 	// wctx the per-worker step contexts, bs the pooled batch-scheduling
 	// scratch and seqCtx the shared context of sequential steps (its
 	// stream is the engine generator itself, so routing the sequential
-	// path through StepCtx changes nothing observable).
-	exWorkers int
-	wctx      []*StepCtx
-	bs        batchState
-	seqCtx    *StepCtx
+	// path through StepCtx changes nothing observable). pool holds the
+	// persistent exchange workers (exWorkers-1 parked goroutines; the
+	// engine goroutine is slot 0) and coalesceMin the tail-coalescing
+	// threshold (see SetTailCoalescing).
+	exWorkers   int
+	wctx        []*StepCtx
+	bs          batchState
+	seqCtx      *StepCtx
+	pool        exPool
+	coalesceMin int
 }
 
 // New returns an engine seeded with seed and running the given layers,
@@ -120,6 +135,37 @@ func New(seed uint64, layers ...Protocol) *Engine {
 	// degenerates to a single worker.
 	e.wctx = []*StepCtx{{e: e, rng: xrand.New(0), batched: true}}
 	return e
+}
+
+// Reset returns the engine to the state New(seed, layers...) would have
+// produced, while retaining every backing array it has grown — the live
+// set, the step-order buffer, the batch scheduler's arenas and per-worker
+// contexts, the meter's ledgers — and the persistent exchange-worker pool
+// (the configured parallelism and tail-coalescing threshold survive the
+// reset; they describe the engine, not the run). Sweeps that execute many
+// same-size cells reuse one engine per concurrent worker this way instead
+// of allocating (and, at worker counts >= 2, re-spawning pool goroutines
+// for) a fresh engine per cell.
+//
+// A reset engine is observably indistinguishable from a fresh one: for a
+// fixed seed and layer stack, the trajectory is byte-identical (pinned by
+// the scenario-level reset identity test).
+func (e *Engine) Reset(seed uint64, layers ...Protocol) {
+	e.rng.Reseed(seed)
+	e.layers = layers
+	e.alive = e.alive[:0]
+	e.live = e.live[:0]
+	e.livePos = e.livePos[:0]
+	e.order = e.order[:0]
+	e.round = 0
+	clear(e.events)
+	e.observers = e.observers[:0]
+	e.meter.reset()
+	e.curLayer = -1
+	e.layerLedger = e.layerLedger[:0]
+	for _, l := range layers {
+		e.layerLedger = append(e.layerLedger, e.meter.ledgerIndex(l.Name()))
+	}
 }
 
 // SeqCtx returns the engine's sequential step context: worker slot 0,
@@ -349,6 +395,15 @@ type Meter struct {
 
 func newMeter() *Meter {
 	return &Meter{index: make(map[string]int)}
+}
+
+// reset empties every ledger for an Engine.Reset, keeping the registered
+// layer names (and their slots) so reused ledgers keep their capacity.
+func (m *Meter) reset() {
+	for i := range m.ledgers {
+		m.ledgers[i] = m.ledgers[i][:0]
+		m.charged[i] = false
+	}
 }
 
 // ledgerIndex returns the ledger slot for layer, registering it on first

@@ -294,6 +294,12 @@ func (s *System) position(id sim.NodeID) space.Point {
 // Run executes n gossip rounds.
 func (s *System) Run(n int) { s.engine.RunRounds(n) }
 
+// Close releases the engine's persistent exchange-worker pool. Call it
+// when discarding a system built with ExchangeParallelism >= 2; it is
+// idempotent, a no-op for sequential configurations, and the system
+// stays fully usable afterwards (batched rounds simply execute inline).
+func (s *System) Close() { s.engine.Close() }
+
 // Round returns the number of completed rounds.
 func (s *System) Round() int { return s.engine.Round() }
 

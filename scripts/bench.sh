@@ -2,17 +2,24 @@
 # Regenerates the tracked bench-trajectory snapshot (BENCH_2.json onward):
 # runs the per-round hot-path micro-benchmarks — migrate round, metrics
 # round, proximity round and the neighbour query, each against its legacy
-# baseline variant — plus the headline Fig. 10a scalability bench and the
-# 51,200-node BenchmarkParallelRound worker sweep (w=0 sequential engine,
-# w>=1 batched exchange scheduler; wall-clock gains need a multi-core
-# machine), and converts the `go test -json` stream into a stable JSON
-# document via scripts/benchjson.
+# baseline variant — plus the headline Fig. 10a scalability bench (its
+# sequential cells and, from BENCH_5 on, the _w2 exchange-parallel
+# variants) and the 51,200-node BenchmarkParallelRound worker sweep (w=0
+# sequential engine, w>=1 the persistent-pool batched scheduler;
+# wall-clock gains need a multi-core machine), and converts the
+# `go test -json` stream into a stable JSON document via scripts/benchjson.
+#
+# It then gates the steady-state gossip hot path: one warmed
+# BenchmarkGossipRound per overlay package (rps, tman, vicinity) must
+# report 0 allocs/op, or the script fails. The iteration count matters —
+# early iterations still grow pooled buffers, so a warm run is what the
+# 0-allocs contract is defined over.
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_4.json}"
+out="${1:-BENCH_5.json}"
 benchtime="${2:-5x}"
 
 go test -json -run '^$' \
@@ -22,3 +29,22 @@ go test -json -run '^$' \
   go run ./scripts/benchjson > "$out"
 
 echo "wrote $out ($(grep -c '"name"' "$out") benchmark records)" >&2
+
+echo "gating steady-state gossip at 0 allocs/op..." >&2
+go test -run '^$' -bench 'BenchmarkGossipRound' -benchmem -benchtime 300x \
+  ./internal/rps/ ./internal/tman/ ./internal/vicinity/ |
+  awk '
+    /allocs\/op/ {
+      seen++
+      print "  " $0
+      for (i = 1; i <= NF; i++) {
+        if ($i == "allocs/op" && $(i-1) + 0 > 0) bad = 1
+      }
+    }
+    END {
+      if (bad) { print "FAIL: steady-state gossip allocates" > "/dev/stderr"; exit 1 }
+      # One result line per overlay package, or the gate checked nothing
+      # (e.g. a renamed benchmark) and must fail rather than pass vacuously.
+      if (seen != 3) { printf "FAIL: expected 3 gossip bench results, parsed %d\n", seen > "/dev/stderr"; exit 1 }
+    }' >&2
+echo "gossip alloc gate passed" >&2
