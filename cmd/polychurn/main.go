@@ -6,6 +6,14 @@
 //
 //	polychurn                       # rates 0%..5% on a 40x20 torus
 //	polychurn -rates 0.01,0.02 -w 80 -h 40
+//
+// The convergence phase can be paid once and reused: -warm converges a
+// single cell in-process and warm-starts every rate from it, while
+// -checkpoint/-resume split the same idea across invocations through a
+// checksummed snapshot file:
+//
+//	polychurn -checkpoint warm.snap           # converge once, save, stop
+//	polychurn -resume warm.snap -rates 0.01,0.02,0.05
 package main
 
 import (
@@ -44,9 +52,33 @@ func run(args []string, out io.Writer) error {
 			"memory budget in MiB for concurrently running rates (0 = unbounded); bounds how many run at once by their estimated engine footprint")
 		poolEngines = fs.Bool("pool-engines", true,
 			"recycle engines across rates (identical results; saves one engine allocation per rate)")
+		warm = fs.Bool("warm", false,
+			"converge one cell and warm-start every rate from its checkpoint instead of re-converging per rate")
+		checkpointFile = fs.String("checkpoint", "",
+			"converge the base configuration, write its snapshot to this file and stop (no sweep is run)")
+		resumeFile = fs.String("resume", "",
+			"warm-start every rate from a snapshot file written by -checkpoint (grid and K flags must match it)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	base := scenario.Config{Seed: *seed, W: *w, H: *h, K: *k}
+
+	if *checkpointFile != "" {
+		cfg := base
+		cfg.Polystyrene = true
+		cfg.ExchangeParallelism = *exchange
+		b, err := scenario.ConvergedSnapshot(cfg, *converge)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*checkpointFile, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "# converged snapshot (%d rounds, %dx%d torus, K=%d) written to %s; sweep with -resume %s\n",
+			*converge, *w, *h, *k, *checkpointFile, *checkpointFile)
+		return nil
 	}
 
 	rates, err := parseRates(*ratesFlag)
@@ -54,7 +86,13 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	base := scenario.Config{Seed: *seed, W: *w, H: *h, K: *k}
+	var warmSnapshot []byte
+	if *resumeFile != "" {
+		warmSnapshot, err = os.ReadFile(*resumeFile)
+		if err != nil {
+			return err
+		}
+	}
 	outs, err := scenario.ChurnSweep(base, rates, scenario.ChurnSweepOpts{
 		ChurnRounds:         *rounds,
 		ConvergeRounds:      *converge,
@@ -63,6 +101,8 @@ func run(args []string, out io.Writer) error {
 		ExchangeParallelism: *exchange,
 		MemBudgetBytes:      int64(*memBudget) << 20,
 		PoolEngines:         *poolEngines,
+		WarmStart:           *warm,
+		WarmSnapshot:        warmSnapshot,
 	})
 	if err != nil {
 		return err

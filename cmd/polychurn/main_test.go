@@ -48,3 +48,62 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Fatal("unknown flag accepted")
 	}
 }
+
+// TestCheckpointResumeSweep converges once with -checkpoint, then runs
+// the sweep twice from the saved file — the two warm-started sweeps must
+// be byte-identical — and rejects a resume into a mismatched grid.
+func TestCheckpointResumeSweep(t *testing.T) {
+	snapFile := t.TempDir() + "/warm.snap"
+	var b strings.Builder
+	err := run([]string{
+		"-w", "16", "-h", "8", "-converge", "8", "-checkpoint", snapFile,
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "converged snapshot") || strings.Contains(b.String(), "rate,crashed") {
+		t.Fatalf("checkpoint run output unexpected:\n%s", b.String())
+	}
+
+	sweep := func() string {
+		var out strings.Builder
+		err := run([]string{
+			"-w", "16", "-h", "8", "-rates", "0,0.02",
+			"-rounds", "10", "-settle", "8", "-resume", snapFile,
+		}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	first := sweep()
+	if !strings.Contains(first, "rate,crashed,joined") {
+		t.Fatalf("resumed sweep missing header:\n%s", first)
+	}
+	if second := sweep(); second != first {
+		t.Fatal("warm-started sweep is not deterministic across invocations")
+	}
+
+	var mismatch strings.Builder
+	err = run([]string{
+		"-w", "20", "-h", "10", "-rates", "0.02", "-rounds", "5", "-resume", snapFile,
+	}, &mismatch)
+	if err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("resume into mismatched grid not refused: %v", err)
+	}
+}
+
+func TestWarmSweepInProcess(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-w", "16", "-h", "8", "-rates", "0,0.02", "-warm",
+		"-rounds", "10", "-converge", "8", "-settle", "8",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), b.String())
+	}
+}

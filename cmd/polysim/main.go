@@ -8,6 +8,12 @@
 //	polysim -k 4                # Polystyrene, K=4, 80x40 torus
 //	polysim -tman               # plain T-Man baseline
 //	polysim -w 40 -h 20 -seed 7 # smaller grid, different seed
+//
+// Long runs can be checkpointed and resumed bit-exactly: the resumed
+// run's CSV is byte-identical to the uninterrupted one.
+//
+//	polysim -checkpoint state.snap -checkpoint-at 50   # run to round 50, save, stop
+//	polysim -resume state.snap                         # finish the same run
 package main
 
 import (
@@ -27,6 +33,33 @@ func main() {
 	}
 }
 
+// drive advances sc through the paper's schedule one round at a time,
+// firing each phase event at the start of its round. When stopAt is >= 0
+// and the scenario reaches that round, drive stops — before the round's
+// events, so a resumed run re-enters the loop at the same point and fires
+// them itself. This one loop serves fresh, checkpointing and resumed runs
+// alike, which is what makes a resumed CSV byte-identical to an
+// uninterrupted one.
+func drive(sc *scenario.Scenario, phases scenario.Phases, stopAt int) (stopped bool) {
+	total := sc.Cfg.W * sc.Cfg.H
+	for sc.Engine.Round() < phases.End {
+		r := sc.Engine.Round()
+		if r == stopAt {
+			return true
+		}
+		if r == phases.FailAt {
+			sc.FailRightHalf()
+		}
+		if r == phases.ReinjectAt {
+			// Replace exactly the nodes still missing, so the schedule is
+			// insensitive to where a checkpoint interrupted it.
+			sc.Reinject(total - sc.Engine.NumLive())
+		}
+		sc.Run(1)
+	}
+	return false
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("polysim", flag.ContinueOnError)
 	var (
@@ -43,6 +76,12 @@ func run(args []string, out io.Writer) error {
 			"intra-round exchange workers (0 = sequential engine; results are identical for every value >= 1)")
 		memBudget = fs.Int("mem-budget", 0,
 			"memory budget in MiB (0 = unbounded); refuses to start when the configuration's estimated engine footprint exceeds it")
+		checkpointFile = fs.String("checkpoint", "",
+			"write a checksummed snapshot to this file at -checkpoint-at and stop without printing the CSV")
+		checkpointAt = fs.Int("checkpoint-at", -1,
+			"round at which -checkpoint saves (before that round's phase events)")
+		resumeFile = fs.String("resume", "",
+			"resume from a snapshot written by -checkpoint; all other flags must rebuild the same configuration, and the CSV printed is byte-identical to the uninterrupted run's")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,13 +107,56 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	phases := scenario.Phases{FailAt: *failAt, ReinjectAt: *reinjectAt, End: *end}
+	if err := phases.Validate(); err != nil {
+		return err
+	}
+	if *checkpointFile != "" && (*checkpointAt < 0 || *checkpointAt >= *end) {
+		return fmt.Errorf("-checkpoint needs -checkpoint-at in [0, %d)", *end)
+	}
+	if *checkpointFile == "" && *checkpointAt >= 0 {
+		return fmt.Errorf("-checkpoint-at needs -checkpoint FILE")
+	}
 
-	sc, res, err := scenario.RunPaper(cfg, phases)
+	sc, err := scenario.New(cfg)
 	if err != nil {
 		return err
 	}
 	defer sc.Close()
 
+	if *resumeFile != "" {
+		f, err := os.Open(*resumeFile)
+		if err != nil {
+			return err
+		}
+		err = sc.Restore(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("resume %s: %w", *resumeFile, err)
+		}
+	}
+
+	stopAt := -1
+	if *checkpointFile != "" {
+		stopAt = *checkpointAt
+	}
+	if drive(sc, phases, stopAt) {
+		f, err := os.Create(*checkpointFile)
+		if err != nil {
+			return err
+		}
+		err = sc.SnapshotTo(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("checkpoint %s: %w", *checkpointFile, err)
+		}
+		fmt.Fprintf(out, "# checkpoint written to %s at round %d; finish with -resume %s\n",
+			*checkpointFile, sc.Engine.Round(), *checkpointFile)
+		return nil
+	}
+
+	res := sc.Result()
 	fmt.Fprintf(out, "# polystyrene=%v K=%d split=%s grid=%dx%d seed=%d\n",
 		cfg.Polystyrene, cfg.K, splitKind, *w, *h, *seed)
 	fmt.Fprintf(out, "# reference homogeneity (full population) H=%.4f\n",

@@ -76,4 +76,66 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}, &b); err == nil {
 		t.Fatal("unknown flag accepted")
 	}
+	if err := run([]string{"-checkpoint", "x.snap"}, &b); err == nil {
+		t.Fatal("-checkpoint without -checkpoint-at accepted")
+	}
+	if err := run([]string{"-checkpoint-at", "5"}, &b); err == nil {
+		t.Fatal("-checkpoint-at without -checkpoint accepted")
+	}
+}
+
+// TestCheckpointResumeByteIdentical round-trips a run through a snapshot
+// file: checkpoint mid-reshaping, resume in a second process-equivalent
+// invocation, and require the resumed CSV to be byte-identical to an
+// uninterrupted run's. Checkpoints in every phase are exercised,
+// including the exact event rounds.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	base := []string{"-w", "16", "-h", "8", "-fail-at", "8", "-reinject-at", "20", "-end", "30"}
+
+	var full strings.Builder
+	if err := run(base, &full); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, at := range []string{"5", "8", "14", "20", "27"} {
+		snapFile := t.TempDir() + "/state.snap"
+		var ck strings.Builder
+		err := run(append(append([]string{}, base...),
+			"-checkpoint", snapFile, "-checkpoint-at", at), &ck)
+		if err != nil {
+			t.Fatalf("checkpoint at %s: %v", at, err)
+		}
+		if !strings.Contains(ck.String(), "checkpoint written") {
+			t.Fatalf("checkpoint run at %s printed no confirmation:\n%s", at, ck.String())
+		}
+		if strings.Contains(ck.String(), "round,live") {
+			t.Fatalf("checkpoint run at %s printed a partial CSV", at)
+		}
+
+		var resumed strings.Builder
+		err = run(append(append([]string{}, base...), "-resume", snapFile), &resumed)
+		if err != nil {
+			t.Fatalf("resume from %s: %v", at, err)
+		}
+		if resumed.String() != full.String() {
+			t.Fatalf("resume from checkpoint at %s is not byte-identical to the uninterrupted run", at)
+		}
+	}
+}
+
+func TestResumeRejectsMismatchedConfig(t *testing.T) {
+	base := []string{"-w", "16", "-h", "8", "-fail-at", "8", "-reinject-at", "20", "-end", "30"}
+	snapFile := t.TempDir() + "/state.snap"
+	var b strings.Builder
+	if err := run(append(append([]string{}, base...),
+		"-checkpoint", snapFile, "-checkpoint-at", "10"), &b); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{
+		"-w", "16", "-h", "8", "-k", "7", "-fail-at", "8", "-reinject-at", "20", "-end", "30",
+		"-resume", snapFile,
+	}, &b)
+	if err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("resume into mismatched config not refused: %v", err)
+	}
 }

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"slices"
@@ -141,6 +142,47 @@ func BenchmarkParallelRound(b *testing.B) {
 			sc.Run(b.N)
 		})
 	}
+}
+
+// BenchmarkSnapshotRestore measures checkpointing the paper's largest
+// configuration — 51,200 nodes on the 320x160 torus — and restoring it
+// into an already wired scenario: the per-checkpoint cost a long polysim
+// run pays, and the per-cell cost a warm-started sweep pays. Bytes/op is
+// the serialized snapshot size, so MB/s reads as checkpoint throughput.
+// Tracked in BENCH_*.json via scripts/bench.sh.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	cfg := Config{Seed: 5, W: 320, H: 160, Polystyrene: true, K: 4, SkipMetrics: true}
+	sc := MustNew(cfg)
+	b.Cleanup(sc.Close)
+	sc.Run(5)
+	var buf bytes.Buffer
+	if err := sc.SnapshotTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	size := int64(buf.Len())
+
+	b.Run("snapshot", func(b *testing.B) {
+		b.SetBytes(size)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := sc.SnapshotTo(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("restore", func(b *testing.B) {
+		dst := MustNew(cfg)
+		b.Cleanup(dst.Close)
+		data := buf.Bytes()
+		b.SetBytes(size)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := dst.Restore(bytes.NewReader(data)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkMeasureReshaping measures the full-stack reshaping experiment

@@ -53,7 +53,12 @@ func RunChurn(cfg Config, churn ChurnConfig, convergeRounds, settleRounds int) (
 		defer sc.Close()
 	}
 	sc.Run(convergeRounds)
+	return runChurnTail(sc, churn, settleRounds), nil
+}
 
+// runChurnTail applies the churn period to a converged (or warm-restored)
+// scenario — the shared second half of RunChurn and RunChurnFrom.
+func runChurnTail(sc *Scenario, churn ChurnConfig, settleRounds int) ChurnOutcome {
 	var out ChurnOutcome
 	rng := sc.Engine.Rand()
 	for round := 0; round < churn.Rounds; round++ {
@@ -75,7 +80,7 @@ func RunChurn(cfg Config, churn ChurnConfig, convergeRounds, settleRounds int) (
 	out.FinalReference = sc.ReferenceHomogeneity()
 	out.Reliability = sc.Reliability()
 	out.ShapeHeld = out.FinalHomogeneity < out.FinalReference
-	return out, nil
+	return out
 }
 
 // ChurnSweepOpts bundles the execution parameters of a churn-rate sweep,
@@ -100,6 +105,13 @@ type ChurnSweepOpts struct {
 	// PoolEngines recycles engines across rates via sim.Engine.Reset;
 	// see RunOpts.PoolEngines.
 	PoolEngines bool
+	// WarmStart converges one cell and restores its checkpoint into every
+	// rate instead of re-converging per rate; see RunOpts.WarmStart.
+	WarmStart bool
+	// WarmSnapshot supplies an externally produced ConvergedSnapshot of
+	// the base configuration (e.g. loaded from disk by polychurn -resume).
+	// Implies WarmStart; its digest must match the sweep's cells.
+	WarmSnapshot []byte
 }
 
 // ChurnSweep measures shape survival across churn rates, one outcome per
@@ -120,15 +132,36 @@ func ChurnSweep(base Config, rates []float64, opts ChurnSweepOpts) ([]ChurnOutco
 	cellPar, exPar := run.compose(len(rates), est.EstimatedFootprintBytes())
 	pool := run.pool()
 	defer pool.drain()
+
+	warm := opts.WarmSnapshot
+	if warm == nil && opts.WarmStart {
+		cfg := base
+		cfg.Polystyrene = true
+		cfg.ExchangeParallelism = exPar
+		cfg.Seed = sweepSeed(base.Seed, "churn-warm")
+		release := pool.acquire(&cfg)
+		b, err := ConvergedSnapshot(cfg, opts.ConvergeRounds)
+		release()
+		if err != nil {
+			return nil, err
+		}
+		warm = b
+	}
+
 	err := runner.Map(cellPar, len(rates), func(i int) error {
 		cfg := base
-		cfg.Seed = base.Seed + uint64(i)
+		cfg.Seed = sweepSeed(base.Seed, "churn", uint64(i))
 		cfg.Polystyrene = true
 		cfg.ExchangeParallelism = exPar
 		defer pool.acquire(&cfg)()
-		out, err := RunChurn(cfg,
-			ChurnConfig{Rate: rates[i], Replace: true, Rounds: opts.ChurnRounds},
-			opts.ConvergeRounds, opts.SettleRounds)
+		churn := ChurnConfig{Rate: rates[i], Replace: true, Rounds: opts.ChurnRounds}
+		var out ChurnOutcome
+		var err error
+		if warm != nil {
+			out, err = RunChurnFrom(cfg, warm, churn, opts.SettleRounds)
+		} else {
+			out, err = RunChurn(cfg, churn, opts.ConvergeRounds, opts.SettleRounds)
+		}
 		if err != nil {
 			return err
 		}

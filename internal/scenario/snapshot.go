@@ -1,0 +1,270 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+
+	"polystyrene/internal/sim"
+	"polystyrene/internal/snap"
+	"polystyrene/internal/space"
+)
+
+const scenarioKind = "scenario"
+
+// configDigest is the structural identity of a scenario embedded in every
+// snapshot: a snapshot may only be restored into a scenario wired from an
+// equivalent configuration (seed and execution knobs excluded — the RNG
+// state travels in the snapshot itself, and exchange parallelism is a
+// throughput knob that batched trajectories are invariant to).
+type configDigest struct {
+	w, h           int
+	step           float64
+	polystyrene    bool
+	overlay        string
+	k              int
+	split          int
+	placement      int
+	fullCopyBackup bool
+	neighborK      int
+}
+
+func digestOf(cfg Config) configDigest {
+	cfg = cfg.withDefaults()
+	overlay := cfg.Overlay
+	if overlay == "" {
+		overlay = "tman"
+	}
+	return configDigest{
+		w: cfg.W, h: cfg.H, step: cfg.Step,
+		polystyrene: cfg.Polystyrene, overlay: overlay,
+		k: cfg.K, split: int(cfg.Split), placement: int(cfg.Placement),
+		fullCopyBackup: cfg.FullCopyBackup, neighborK: cfg.NeighborK,
+	}
+}
+
+func (d configDigest) write(w *snap.Writer) {
+	w.Int(d.w)
+	w.Int(d.h)
+	w.F64(d.step)
+	w.Bool(d.polystyrene)
+	w.String(d.overlay)
+	w.Int(d.k)
+	w.Int(d.split)
+	w.Int(d.placement)
+	w.Bool(d.fullCopyBackup)
+	w.Int(d.neighborK)
+}
+
+func readDigest(r *snap.Reader) configDigest {
+	var d configDigest
+	d.w = r.Int()
+	d.h = r.Int()
+	d.step = r.F64()
+	d.polystyrene = r.Bool()
+	d.overlay = r.String()
+	d.k = r.Int()
+	d.split = r.Int()
+	d.placement = r.Int()
+	d.fullCopyBackup = r.Bool()
+	d.neighborK = r.Int()
+	return d
+}
+
+// SnapshotTo writes a checksummed checkpoint of the whole scenario —
+// configuration digest, reinjection positions, the metric series recorded
+// so far and the complete engine state (RNG, liveness, meter, every
+// protocol layer) — to w. Restoring it into a freshly wired scenario of
+// the same configuration and running n more rounds is byte-identical to
+// never having checkpointed.
+//
+// (The name avoids Scenario.Snapshot, which predates checkpointing and
+// captures node positions for rendering.)
+func (sc *Scenario) SnapshotTo(w io.Writer) error {
+	var sw snap.Writer
+	digestOf(sc.Cfg).write(&sw)
+
+	ids := make([]sim.NodeID, 0, len(sc.fixedPos))
+	for id := range sc.fixedPos {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sw.Len(len(ids))
+	for _, id := range ids {
+		sw.Int(int(id))
+		p := sc.fixedPos[id]
+		sw.Len(len(p))
+		for _, c := range p {
+			sw.F64(c)
+		}
+	}
+
+	writeFloats(&sw, sc.result.Homogeneity)
+	writeFloats(&sw, sc.result.Proximity)
+	writeFloats(&sw, sc.result.DataPoints)
+	writeFloats(&sw, sc.result.MsgCost)
+	sw.Len(len(sc.result.LiveNodes))
+	for _, v := range sc.result.LiveNodes {
+		sw.Int(v)
+	}
+
+	if err := sc.Engine.SnapshotState(&sw); err != nil {
+		return err
+	}
+	return snap.WriteEnvelope(w, scenarioKind, sw.Bytes())
+}
+
+// Restore loads a checkpoint written by SnapshotTo into this scenario,
+// which must have been wired from an equivalent configuration (New has
+// already run; everything its init paths produced is overwritten). The
+// file is checksum- and version-verified, and the configuration digest
+// checked, before any state is touched — a corrupted, truncated or
+// mismatched snapshot never yields a partial restore.
+func (sc *Scenario) Restore(rd io.Reader) error {
+	body, err := snap.ReadEnvelope(rd, scenarioKind)
+	if err != nil {
+		return err
+	}
+	r := snap.NewReader(body)
+	got := readDigest(r)
+
+	nFixed := r.Len(16)
+	fixedIDs := make([]sim.NodeID, nFixed)
+	fixedPts := make([]space.Point, nFixed)
+	for i := 0; i < nFixed; i++ {
+		fixedIDs[i] = sim.NodeID(r.Int())
+		n := r.Len(8)
+		p := make(space.Point, n)
+		for j := range p {
+			p[j] = r.F64()
+		}
+		fixedPts[i] = p
+	}
+
+	homog := readFloats(r)
+	prox := readFloats(r)
+	dataPts := readFloats(r)
+	msgCost := readFloats(r)
+	nLive := r.Len(8)
+	liveNodes := make([]int, nLive)
+	for i := range liveNodes {
+		liveNodes[i] = r.Int()
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if want := digestOf(sc.Cfg); got != want {
+		return fmt.Errorf("scenario: snapshot configuration %+v does not match this scenario %+v", got, want)
+	}
+
+	if err := sc.Engine.RestoreState(r); err != nil {
+		return err
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("scenario: %d trailing bytes in snapshot", r.Remaining())
+	}
+
+	clear(sc.fixedPos)
+	for i, id := range fixedIDs {
+		sc.fixedPos[id] = fixedPts[i]
+	}
+	sc.result.Homogeneity = homog
+	sc.result.Proximity = prox
+	sc.result.DataPoints = dataPts
+	sc.result.MsgCost = msgCost
+	sc.result.LiveNodes = liveNodes
+	return nil
+}
+
+func writeFloats(w *snap.Writer, s []float64) {
+	w.Len(len(s))
+	for _, v := range s {
+		w.F64(v)
+	}
+}
+
+func readFloats(r *snap.Reader) []float64 {
+	n := r.Len(8)
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = r.F64()
+	}
+	return s
+}
+
+// ConvergedSnapshot wires cfg, runs convergeRounds quiet rounds and
+// returns the serialized checkpoint — the "pay convergence once" half of
+// a warm-started sweep. Metrics recording is disabled for the converge
+// run; warm-started cells measure from their own restored state. A
+// pooled cfg.Engine is honoured and left open for its owner.
+func ConvergedSnapshot(cfg Config, convergeRounds int) ([]byte, error) {
+	cfg.SkipMetrics = true
+	sc, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Engine == nil {
+		defer sc.Close()
+	}
+	sc.Run(convergeRounds)
+	var buf bytes.Buffer
+	if err := sc.SnapshotTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// restoreWarm wires cfg, restores the shared converged snapshot into it
+// and forks the cell's own trajectory by reseeding the engine generator
+// from cfg.Seed — every warm cell continues from the same topology but
+// diverges randomly, mirroring how cold cells differ only by seed.
+func restoreWarm(cfg Config, snapshot []byte) (*Scenario, error) {
+	sc, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := sc.Restore(bytes.NewReader(snapshot)); err != nil {
+		if cfg.Engine == nil {
+			sc.Close()
+		}
+		return nil, err
+	}
+	sc.Engine.Rand().Reseed(cfg.Seed)
+	return sc, nil
+}
+
+// MeasureReshapingFrom is MeasureReshaping with the convergence phase
+// replaced by restoring a ConvergedSnapshot of an equivalent
+// configuration.
+func MeasureReshapingFrom(cfg Config, snapshot []byte, maxRounds int) (ReshapingOutcome, error) {
+	cfg.SkipMetrics = true
+	sc, err := restoreWarm(cfg, snapshot)
+	if err != nil {
+		return ReshapingOutcome{}, err
+	}
+	if cfg.Engine == nil {
+		defer sc.Close()
+	}
+	return measureReshapingTail(sc, maxRounds), nil
+}
+
+// RunChurnFrom is RunChurn with the convergence phase replaced by
+// restoring a ConvergedSnapshot of an equivalent configuration.
+func RunChurnFrom(cfg Config, snapshot []byte, churn ChurnConfig, settleRounds int) (ChurnOutcome, error) {
+	if churn.Rate < 0 || churn.Rate >= 1 {
+		return ChurnOutcome{}, fmt.Errorf("scenario: churn rate %v out of [0,1)", churn.Rate)
+	}
+	cfg.SkipMetrics = true
+	sc, err := restoreWarm(cfg, snapshot)
+	if err != nil {
+		return ChurnOutcome{}, err
+	}
+	if cfg.Engine == nil {
+		defer sc.Close()
+	}
+	return runChurnTail(sc, churn, settleRounds), nil
+}

@@ -1,0 +1,327 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"polystyrene/internal/fd"
+	"polystyrene/internal/sim"
+)
+
+// snapPhases is the compressed paper schedule the snapshot tests run
+// (mirrors paperRun): fail at 8, reinject at 20, end at 32.
+var snapPhases = Phases{FailAt: 8, ReinjectAt: 20, End: 32}
+
+// interruptedRun replicates the snapPhases schedule but checkpoints at
+// stopAt rounds, restores the checkpoint into a freshly wired scenario
+// (or one wired over restoreInto, e.g. a pooled engine) and finishes the
+// schedule there. The returned record must be byte-identical to an
+// uninterrupted run's.
+func interruptedRun(t *testing.T, cfg Config, stopAt int, restoreInto *sim.Engine) (*Result, float64) {
+	t.Helper()
+	run := func(sc *Scenario, from, to int) {
+		for r := from; r < to; r++ {
+			if r == snapPhases.FailAt {
+				sc.FailRightHalf()
+			}
+			if r == snapPhases.ReinjectAt {
+				sc.Reinject(sc.Cfg.W*sc.Cfg.H - sc.Engine.NumLive())
+			}
+			sc.Run(1)
+		}
+	}
+	first := MustNew(cfg)
+	run(first, 0, stopAt)
+	var buf bytes.Buffer
+	if err := first.SnapshotTo(&buf); err != nil {
+		t.Fatalf("SnapshotTo: %v", err)
+	}
+	first.Close()
+
+	resumedCfg := cfg
+	resumedCfg.Engine = restoreInto
+	resumed := MustNew(resumedCfg)
+	if restoreInto == nil {
+		defer resumed.Close()
+	}
+	if err := resumed.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got := resumed.Engine.Round(); got != stopAt {
+		t.Fatalf("restored round = %d, want %d", got, stopAt)
+	}
+	run(resumed, stopAt, snapPhases.End)
+	return resumed.Result(), resumed.Reliability()
+}
+
+// TestSnapshotRestoreByteIdentical is the tentpole's keystone guarantee:
+// snapshot at round r, restore into a fresh engine, run the rest of the
+// schedule — every per-round metric series and the final reliability are
+// byte-identical to the uninterrupted run, for the sequential engine and
+// batched engines at w ∈ {2, 4}, across checkpoint rounds in every phase,
+// for both stacks, both overlays and a stateful failure detector.
+func TestSnapshotRestoreByteIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"poly/w0", Config{Seed: 11, W: 16, H: 8, Polystyrene: true}},
+		{"poly/w2", Config{Seed: 11, W: 16, H: 8, Polystyrene: true, ExchangeParallelism: 2}},
+		{"poly/w4", Config{Seed: 11, W: 16, H: 8, Polystyrene: true, ExchangeParallelism: 4}},
+		{"baseline/w0", Config{Seed: 13, W: 16, H: 8}},
+		{"vicinity/w2", Config{Seed: 17, W: 16, H: 8, Polystyrene: true, Overlay: "vicinity", ExchangeParallelism: 2}},
+		{"delayedfd/w2", Config{Seed: 19, W: 16, H: 8, Polystyrene: true, Detector: fd.NewDelayed(2), ExchangeParallelism: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			if tc.name == "delayedfd/w2" {
+				// Each run needs its own detector instance: it is stateful.
+				cfg.Detector = fd.NewDelayed(2)
+			}
+			refRes, refRel := paperRun(t, cfg)
+			for _, stopAt := range []int{5, 8, 14, 20, 27} {
+				if tc.name == "delayedfd/w2" {
+					cfg.Detector = fd.NewDelayed(2)
+				}
+				res, rel := interruptedRun(t, cfg, stopAt, nil)
+				if !reflect.DeepEqual(res, refRes) {
+					t.Errorf("stopAt=%d: resumed metric record diverged from uninterrupted run", stopAt)
+				}
+				if rel != refRel {
+					t.Errorf("stopAt=%d: resumed reliability %v, want %v", stopAt, rel, refRel)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotRestoreIntoPooledReset pins restore composing with engine
+// pooling: restoring a checkpoint into an engine that already ran a
+// different experiment (and was recycled via Config.Engine → Reset)
+// continues byte-identically to restoring into a fresh engine.
+func TestSnapshotRestoreIntoPooledReset(t *testing.T) {
+	for _, workers := range []int{0, 2} {
+		cfg := Config{Seed: 23, W: 16, H: 8, Polystyrene: true, ExchangeParallelism: workers}
+		refRes, refRel := paperRun(t, cfg)
+
+		eng := sim.New(0)
+		defer eng.Close()
+		dirty := cfg
+		dirty.Seed = 99
+		dirty.ExchangeParallelism = 3 - workers
+		dirty.Engine = eng
+		paperRun(t, dirty)
+
+		res, rel := interruptedRun(t, cfg, 14, eng)
+		if !reflect.DeepEqual(res, refRes) {
+			t.Errorf("workers=%d: restore-into-Reset record diverged from fresh run", workers)
+		}
+		if rel != refRel {
+			t.Errorf("workers=%d: restore-into-Reset reliability %v, want %v", workers, rel, refRel)
+		}
+	}
+}
+
+// TestSnapshotRejectsCorruption pins the no-partial-restore guarantee:
+// corrupted, truncated and wrong-kind snapshots are all rejected, and a
+// failed Restore leaves the target scenario's state untouched.
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	cfg := Config{Seed: 31, W: 8, H: 4, Polystyrene: true}
+	sc := MustNew(cfg)
+	defer sc.Close()
+	sc.Run(6)
+	var buf bytes.Buffer
+	if err := sc.SnapshotTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	target := MustNew(cfg)
+	defer target.Close()
+	target.Run(3)
+	var before bytes.Buffer
+	if err := target.SnapshotTo(&before); err != nil {
+		t.Fatal(err)
+	}
+
+	tryRestore := func(name string, data []byte) {
+		t.Helper()
+		if err := target.Restore(bytes.NewReader(data)); err == nil {
+			t.Fatalf("%s: corrupted snapshot accepted", name)
+		}
+		var after bytes.Buffer
+		if err := target.SnapshotTo(&after); err != nil {
+			t.Fatalf("%s: re-snapshot: %v", name, err)
+		}
+		if !bytes.Equal(after.Bytes(), before.Bytes()) {
+			t.Fatalf("%s: failed restore mutated the target scenario", name)
+		}
+	}
+
+	// Single-byte corruption at several positions, including header and
+	// trailing checksum.
+	for _, pos := range []int{0, 7, 12, len(good) / 2, len(good) - 9, len(good) - 1} {
+		bad := append([]byte(nil), good...)
+		bad[pos] ^= 0x20
+		tryRestore(fmt.Sprintf("flip@%d", pos), bad)
+	}
+	for _, n := range []int{0, 1, 15, len(good) / 3, len(good) - 1} {
+		tryRestore(fmt.Sprintf("truncate@%d", n), good[:n])
+	}
+
+	// A mismatched configuration must be rejected by the digest gate.
+	otherCfg := cfg
+	otherCfg.K = cfg.K + 3
+	other := MustNew(otherCfg)
+	defer other.Close()
+	if err := other.Restore(bytes.NewReader(good)); err == nil {
+		t.Fatal("snapshot restored into a different configuration")
+	}
+
+	// The pristine snapshot must still restore cleanly after all that.
+	if err := target.Restore(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+}
+
+// TestWarmStartedSweeps pins the warm-start harness path: sweeps that
+// restore one converged checkpoint into every cell produce deterministic
+// results (same output when run twice), identical across engine pooling,
+// and agree with manually chaining ConvergedSnapshot + the *From runners.
+func TestWarmStartedSweeps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cell sweep; exercised by CI's dedicated race step")
+	}
+	base := Config{Seed: 7, W: 16, H: 8}
+	opts := RunOpts{
+		Reps: 2, ConvergeRounds: 8, MaxRounds: 30,
+		Parallelism: 2, ExchangeParallelism: 2, WarmStart: true,
+	}
+	sizes := []GridSize{{16, 8}, {20, 10}}
+	variants := map[string]func(Config) Config{
+		"K2": func(c Config) Config { c.K = 2; return c },
+		"K4": func(c Config) Config { c.K = 4; return c },
+	}
+	ref, err := SizeSweep(base, sizes, variants, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := SizeSweep(base, sizes, variants, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, ref) {
+		t.Error("warm-started SizeSweep is not deterministic")
+	}
+	pooled := opts
+	pooled.PoolEngines = true
+	pooledOut, err := SizeSweep(base, sizes, variants, pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pooledOut, ref) {
+		t.Error("pooled warm-started SizeSweep diverged from the unpooled one")
+	}
+
+	churnOpts := ChurnSweepOpts{
+		ChurnRounds: 6, ConvergeRounds: 8, SettleRounds: 6,
+		Parallelism: 2, ExchangeParallelism: 2, WarmStart: true,
+	}
+	rates := []float64{0.01, 0.02}
+	churnRef, err := ChurnSweep(base, rates, churnOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churnAgain, err := ChurnSweep(base, rates, churnOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(churnAgain, churnRef) {
+		t.Error("warm-started ChurnSweep is not deterministic")
+	}
+
+	// Supplying the equivalent snapshot externally (the polychurn -resume
+	// path) must reproduce the WarmStart-computed outcomes.
+	warmCfg := base
+	warmCfg.Polystyrene = true
+	_, exPar := RunOpts{Parallelism: churnOpts.Parallelism, ExchangeParallelism: churnOpts.ExchangeParallelism}.compose(len(rates), warmCfg.EstimatedFootprintBytes())
+	warmCfg.ExchangeParallelism = exPar
+	warmCfg.Seed = sweepSeed(base.Seed, "churn-warm")
+	snapBytes, err := ConvergedSnapshot(warmCfg, churnOpts.ConvergeRounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	supplied := churnOpts
+	supplied.WarmStart = false
+	supplied.WarmSnapshot = snapBytes
+	churnSupplied, err := ChurnSweep(base, rates, supplied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(churnSupplied, churnRef) {
+		t.Error("externally supplied warm snapshot diverged from WarmStart")
+	}
+}
+
+// FuzzSnapshotRoundTrip drives the snapshot codec across seeds, grid
+// sizes, worker counts and mid-run churn: a snapshot restored into a
+// fresh scenario must re-serialize to the identical bytes, and both
+// scenarios must continue to identical states.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint8(0), uint8(0), false)
+	f.Add(uint64(42), uint8(3), uint8(2), uint8(2), true)
+	f.Add(uint64(7), uint8(1), uint8(5), uint8(4), false)
+	f.Add(uint64(99), uint8(6), uint8(1), uint8(1), true)
+	f.Fuzz(func(t *testing.T, seed uint64, dw, dh, workers uint8, churn bool) {
+		cfg := Config{
+			Seed:                seed,
+			W:                   6 + int(dw%6),
+			H:                   3 + int(dh%4),
+			Polystyrene:         true,
+			SkipMetrics:         true,
+			ExchangeParallelism: int(workers % 5),
+		}
+		sc := MustNew(cfg)
+		defer sc.Close()
+		sc.Run(4)
+		if churn {
+			sc.Engine.Kill(sc.Engine.RandomLive())
+			sc.Engine.Kill(sc.Engine.RandomLive())
+			sc.Run(2)
+			sc.Reinject(1)
+			sc.Run(1)
+		}
+		var a bytes.Buffer
+		if err := sc.SnapshotTo(&a); err != nil {
+			t.Fatal(err)
+		}
+		restored := MustNew(cfg)
+		defer restored.Close()
+		if err := restored.Restore(bytes.NewReader(a.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := restored.SnapshotTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatal("restore → re-snapshot is not byte-identical")
+		}
+		// Both continue identically.
+		sc.Run(3)
+		restored.Run(3)
+		var a2, b2 bytes.Buffer
+		if err := sc.SnapshotTo(&a2); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.SnapshotTo(&b2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a2.Bytes(), b2.Bytes()) {
+			t.Fatal("original and restored scenarios diverged after resume")
+		}
+	})
+}

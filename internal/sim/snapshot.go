@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"polystyrene/internal/snap"
+)
+
+// Snapshotter is implemented by protocol layers whose per-node state must
+// survive a checkpoint. A layer that carries no state between rounds
+// (pure scratch, caches rebuilt at plan time) simply doesn't implement
+// it, and the engine records an empty section for it.
+//
+// SnapshotState must write every bit of state that influences future
+// rounds, in a deterministic order (sort map iterations). RestoreState
+// reads the same stream back into a layer that has already been
+// constructed and InitNode'd for the same configuration; it must fully
+// overwrite — never merge with — the state those init paths produced.
+type Snapshotter interface {
+	SnapshotState(w *snap.Writer)
+	RestoreState(r *snap.Reader) error
+}
+
+const engineKind = "engine"
+
+// SnapshotState serializes the complete run state of the engine — RNG,
+// round counter, liveness sets, meter ledgers and every layer's section —
+// into w. It fails if events are still scheduled: events are arbitrary
+// closures and cannot be serialized, so harnesses that checkpoint drive
+// failures/reinjections inline (as the scenario drivers do) instead of
+// scheduling them ahead.
+//
+// Worker-pool configuration (exchange parallelism, tail coalescing) and
+// registered observers are deliberately not part of a snapshot: they
+// describe the engine and its harness, not the simulated state, and the
+// batched scheduler re-derives all per-step randomness from the engine
+// generator, so restoring the RNG state alone reproduces batched
+// trajectories byte-identically at any worker count.
+func (e *Engine) SnapshotState(w *snap.Writer) error {
+	if len(e.events) > 0 {
+		return fmt.Errorf("sim: cannot snapshot with %d pending scheduled event rounds", len(e.events))
+	}
+	for _, s := range e.rng.State() {
+		w.U64(s)
+	}
+	w.Int(e.round)
+	w.Int(len(e.alive))
+	// The dense live set is order-sensitive: RandomLive indexes it, and
+	// Kill swap-removes, so the exact ordering is part of the trajectory.
+	w.Len(len(e.live))
+	for _, id := range e.live {
+		w.Int(int(id))
+	}
+	e.meter.snapshotState(w)
+	w.Len(len(e.layers))
+	for _, l := range e.layers {
+		w.String(l.Name())
+		if s, ok := l.(Snapshotter); ok {
+			w.Bool(true)
+			var lw snap.Writer
+			s.SnapshotState(&lw)
+			w.Section(lw.Bytes())
+		} else {
+			w.Bool(false)
+		}
+	}
+	return nil
+}
+
+// RestoreState is the inverse of SnapshotState. The engine must already
+// be configured with the same layer stack the snapshot was taken from
+// (layers are matched by position and name); pending events are
+// discarded, observers are left registered, and the RNG is mutated in
+// place so contexts aliasing it keep working. The snapshot is parsed and
+// validated in full before any engine state is touched.
+func (e *Engine) RestoreState(r *snap.Reader) error {
+	// Phase 1: parse everything into temporaries.
+	var rngState [4]uint64
+	for i := range rngState {
+		rngState[i] = r.U64()
+	}
+	round := r.Int()
+	numNodes := r.Int()
+	nLive := r.Len(8)
+	live := make([]NodeID, nLive)
+	for i := range live {
+		live[i] = NodeID(r.Int())
+	}
+	var meter meterState
+	meter.parse(r)
+	nLayers := r.Len(2)
+	type layerSection struct {
+		name string
+		has  bool
+		body *snap.Reader
+	}
+	sections := make([]layerSection, nLayers)
+	for i := range sections {
+		sections[i].name = r.String()
+		sections[i].has = r.Bool()
+		if sections[i].has {
+			sections[i].body = r.Section()
+		}
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+
+	// Phase 2: validate against this engine's configuration.
+	if round < 0 || numNodes < 0 {
+		return fmt.Errorf("sim: snapshot has negative round (%d) or node count (%d)", round, numNodes)
+	}
+	seen := make([]bool, numNodes)
+	for _, id := range live {
+		if id < 0 || int(id) >= numNodes {
+			return fmt.Errorf("sim: snapshot live ID %d out of range [0,%d)", id, numNodes)
+		}
+		if seen[id] {
+			return fmt.Errorf("sim: snapshot live ID %d duplicated", id)
+		}
+		seen[id] = true
+	}
+	if len(sections) != len(e.layers) {
+		return fmt.Errorf("sim: snapshot has %d layers, engine has %d", len(sections), len(e.layers))
+	}
+	for i, s := range sections {
+		if s.name != e.layers[i].Name() {
+			return fmt.Errorf("sim: snapshot layer %d is %q, engine has %q", i, s.name, e.layers[i].Name())
+		}
+		if _, ok := e.layers[i].(Snapshotter); ok != s.has {
+			return fmt.Errorf("sim: snapshot layer %q state presence mismatch", s.name)
+		}
+	}
+
+	// Phase 3: overwrite engine state.
+	e.rng.SetState(rngState)
+	e.round = round
+	e.alive = e.alive[:0]
+	e.livePos = e.livePos[:0]
+	for i := 0; i < numNodes; i++ {
+		e.alive = append(e.alive, false)
+		e.livePos = append(e.livePos, -1)
+	}
+	e.live = e.live[:0]
+	for i, id := range live {
+		e.alive[id] = true
+		e.livePos[id] = int32(i)
+		e.live = append(e.live, id)
+	}
+	clear(e.events)
+	meter.apply(e.meter)
+	e.curLayer = -1
+	e.layerLedger = e.layerLedger[:0]
+	for _, l := range e.layers {
+		e.layerLedger = append(e.layerLedger, e.meter.ledgerIndex(l.Name()))
+	}
+	for i, s := range sections {
+		if !s.has {
+			continue
+		}
+		if err := e.layers[i].(Snapshotter).RestoreState(s.body); err != nil {
+			return fmt.Errorf("sim: restoring layer %q: %w", s.name, err)
+		}
+		if err := snap.CloseSection(s.name, s.body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot writes a standalone, checksummed engine snapshot to w.
+func (e *Engine) Snapshot(w io.Writer) error {
+	var sw snap.Writer
+	if err := e.SnapshotState(&sw); err != nil {
+		return err
+	}
+	return snap.WriteEnvelope(w, engineKind, sw.Bytes())
+}
+
+// Restore reads a snapshot written by Snapshot into the engine. The
+// entire file is checksum- and version-verified before any state is
+// mutated, so a corrupted or truncated snapshot never produces a
+// partial restore.
+func (e *Engine) Restore(rd io.Reader) error {
+	body, err := snap.ReadEnvelope(rd, engineKind)
+	if err != nil {
+		return err
+	}
+	r := snap.NewReader(body)
+	if err := e.RestoreState(r); err != nil {
+		return err
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("sim: %d trailing bytes in engine snapshot", r.Remaining())
+	}
+	return nil
+}
+
+// meterState is the parsed-but-not-applied image of a Meter.
+type meterState struct {
+	names   []string
+	charged []bool
+	ledgers [][]int
+}
+
+func (m *Meter) snapshotState(w *snap.Writer) {
+	// Slot order matters: layerLedger indices are rebuilt by registering
+	// names in this exact order on restore.
+	w.Len(len(m.names))
+	for i, name := range m.names {
+		w.String(name)
+		w.Bool(m.charged[i])
+		w.Len(len(m.ledgers[i]))
+		for _, v := range m.ledgers[i] {
+			w.Int(v)
+		}
+	}
+}
+
+func (ms *meterState) parse(r *snap.Reader) {
+	n := r.Len(2)
+	ms.names = make([]string, 0, n)
+	ms.charged = make([]bool, 0, n)
+	ms.ledgers = make([][]int, 0, n)
+	for i := 0; i < n; i++ {
+		ms.names = append(ms.names, r.String())
+		ms.charged = append(ms.charged, r.Bool())
+		ln := r.Len(8)
+		ledger := make([]int, 0, ln)
+		for j := 0; j < ln; j++ {
+			ledger = append(ledger, r.Int())
+		}
+		ms.ledgers = append(ms.ledgers, ledger)
+	}
+}
+
+func (ms *meterState) apply(m *Meter) {
+	clear(m.index)
+	m.names = m.names[:0]
+	m.charged = m.charged[:0]
+	old := m.ledgers
+	m.ledgers = m.ledgers[:0]
+	for i, name := range ms.names {
+		var ledger []int
+		if i < len(old) {
+			ledger = append(old[i][:0], ms.ledgers[i]...)
+		} else {
+			ledger = ms.ledgers[i]
+		}
+		m.index[name] = i
+		m.names = append(m.names, name)
+		m.charged = append(m.charged, ms.charged[i])
+		m.ledgers = append(m.ledgers, ledger)
+	}
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"polystyrene/internal/snap"
+)
+
+// snapLayer is a minimal stateful protocol: every step increments the
+// node's counter by a value drawn from the engine stream, so both layer
+// state and RNG state must survive a round trip for streams to match.
+type snapLayer struct {
+	name   string
+	counts []int
+}
+
+func (l *snapLayer) Name() string { return l.name }
+func (l *snapLayer) InitNode(e *Engine, id NodeID) {
+	for len(l.counts) <= int(id) {
+		l.counts = append(l.counts, 0)
+	}
+}
+func (l *snapLayer) Step(e *Engine, id NodeID) {
+	l.counts[id] += e.Rand().Intn(100)
+	e.Charge(1)
+}
+
+func (l *snapLayer) SnapshotState(w *snap.Writer) {
+	w.Len(len(l.counts))
+	for _, c := range l.counts {
+		w.Int(c)
+	}
+}
+
+func (l *snapLayer) RestoreState(r *snap.Reader) error {
+	n := r.Len(8)
+	counts := make([]int, n)
+	for i := range counts {
+		counts[i] = r.Int()
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	l.counts = counts
+	return nil
+}
+
+// statelessLayer carries nothing between rounds and does not implement
+// Snapshotter.
+type statelessLayer struct{}
+
+func (statelessLayer) Name() string              { return "stateless" }
+func (statelessLayer) InitNode(*Engine, NodeID)  {}
+func (statelessLayer) Step(e *Engine, id NodeID) { e.Charge(2) }
+
+func TestEngineSnapshotRoundTrip(t *testing.T) {
+	la := &snapLayer{name: "counter"}
+	e := New(5, la, statelessLayer{})
+	e.AddNodes(20)
+	e.RunRounds(4)
+	e.Kill(3)
+	e.Kill(11)
+	e.RunRounds(3)
+
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	lb := &snapLayer{name: "counter"}
+	e2 := New(0, lb, statelessLayer{})
+	if err := e2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if e2.Round() != e.Round() || e2.NumNodes() != e.NumNodes() || e2.NumLive() != e.NumLive() {
+		t.Fatalf("restored engine shape (round=%d nodes=%d live=%d) != original (%d, %d, %d)",
+			e2.Round(), e2.NumNodes(), e2.NumLive(), e.Round(), e.NumNodes(), e.NumLive())
+	}
+	if e2.Alive(3) || e2.Alive(11) || !e2.Alive(0) {
+		t.Fatal("restored liveness diverged")
+	}
+	if got, want := e2.Meter().TotalCost("counter"), e.Meter().TotalCost("counter"); got != want {
+		t.Fatalf("restored meter cost %d, want %d", got, want)
+	}
+
+	// Both engines must continue identically: same layer state, same
+	// RNG stream, same meter.
+	e.RunRounds(5)
+	e2.RunRounds(5)
+	for id := range la.counts {
+		if la.counts[id] != lb.counts[id] {
+			t.Fatalf("node %d counter diverged after resume: %d != %d", id, la.counts[id], lb.counts[id])
+		}
+	}
+	if a, b := e.Rand().Uint64(), e2.Rand().Uint64(); a != b {
+		t.Fatalf("RNG streams diverged after resume: %d != %d", a, b)
+	}
+	for r := 0; r < e.Round(); r++ {
+		if a, b := e.Meter().TotalRoundCost(r), e2.Meter().TotalRoundCost(r); a != b {
+			t.Fatalf("round %d meter cost diverged: %d != %d", r, a, b)
+		}
+	}
+}
+
+func TestEngineSnapshotRejectsPendingEvents(t *testing.T) {
+	e := New(1, &snapLayer{name: "counter"})
+	e.AddNodes(4)
+	if err := e.ScheduleAt(10, func(*Engine) {}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err == nil {
+		t.Fatal("snapshot with pending events accepted")
+	}
+}
+
+func TestEngineRestoreRejectsLayerMismatch(t *testing.T) {
+	e := New(1, &snapLayer{name: "counter"})
+	e.AddNodes(4)
+	e.RunRounds(2)
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	other := New(0, &snapLayer{name: "renamed"})
+	if err := other.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("restore into a different layer stack accepted")
+	}
+	fewer := New(0)
+	if err := fewer.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("restore into an engine with fewer layers accepted")
+	}
+}
+
+func TestEngineRestoreRejectsCorruption(t *testing.T) {
+	e := New(1, &snapLayer{name: "counter"})
+	e.AddNodes(4)
+	e.RunRounds(2)
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	target := New(0, &snapLayer{name: "counter"})
+	for _, pos := range []int{0, 9, len(good) / 2, len(good) - 1} {
+		bad := append([]byte(nil), good...)
+		bad[pos] ^= 0x10
+		if err := target.Restore(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corrupted snapshot (flip@%d) accepted", pos)
+		}
+	}
+	if err := target.Restore(bytes.NewReader(good[:len(good)/2])); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	if err := target.Restore(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+}

@@ -80,3 +80,12 @@ func (in *Interner) PointOf(id PointID) Point {
 // Len returns how many distinct points have been interned. Valid IDs are
 // exactly [0, Len()).
 func (in *Interner) Len() int { return len(in.pts) }
+
+// Reset empties the interner so a snapshot restore can repopulate it.
+// Re-interning the serialized points in their original ID order yields
+// the identical table, which is what keeps every PointID stored elsewhere
+// in a snapshot valid after the round trip.
+func (in *Interner) Reset() {
+	clear(in.byKey)
+	in.pts = in.pts[:0]
+}

@@ -1,0 +1,40 @@
+package tman
+
+import (
+	"polystyrene/internal/sim"
+	"polystyrene/internal/snap"
+)
+
+var _ sim.Snapshotter = (*Protocol)(nil)
+
+// SnapshotState implements sim.Snapshotter. The per-node neighbour views
+// are the protocol's only cross-round state; worker scratch, the plan
+// mirrors and the ψ-window cache are rebuilt within each round.
+func (p *Protocol) SnapshotState(w *snap.Writer) {
+	w.Len(len(p.views))
+	for _, v := range p.views {
+		w.Len(len(v))
+		for _, id := range v {
+			w.Int(int(id))
+		}
+	}
+}
+
+// RestoreState implements sim.Snapshotter.
+func (p *Protocol) RestoreState(r *snap.Reader) error {
+	n := r.Len(8)
+	views := make([][]sim.NodeID, n)
+	for i := range views {
+		ln := r.Len(8)
+		v := make([]sim.NodeID, ln)
+		for j := range v {
+			v[j] = sim.NodeID(r.Int())
+		}
+		views[i] = v
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	p.views = views
+	return nil
+}

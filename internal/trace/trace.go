@@ -94,7 +94,11 @@ func (t *Table) WriteCSV(w io.Writer) error {
 }
 
 // ReadCSV parses a table previously written by WriteCSV (comment lines
-// starting with '#' are skipped).
+// starting with '#' are skipped). The first non-comment row must be a
+// header: a fully numeric first row is rejected with a "missing header
+// row?" diagnosis instead of silently becoming column names, and
+// duplicate header names fail immediately rather than after the whole
+// file has been parsed.
 func ReadCSV(r io.Reader) (*Table, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -109,6 +113,22 @@ func ReadCSV(r io.Reader) (*Table, error) {
 		}
 		fields := strings.Split(text, ",")
 		if names == nil {
+			numeric := 0
+			for _, f := range fields {
+				if _, err := strconv.ParseFloat(strings.TrimSpace(f), 64); err == nil {
+					numeric++
+				}
+			}
+			if numeric == len(fields) {
+				return nil, fmt.Errorf("trace: line %d: header row %q is fully numeric — missing header row?", line, text)
+			}
+			seen := make(map[string]bool, len(fields))
+			for i, n := range fields {
+				if seen[n] {
+					return nil, fmt.Errorf("trace: line %d: duplicate column %q in header (field %d)", line, n, i+1)
+				}
+				seen[n] = true
+			}
 			names = fields
 			cols = make([][]float64, len(names))
 			continue

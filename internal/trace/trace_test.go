@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -102,11 +103,7 @@ func TestCSVRoundTripProperty(t *testing.T) {
 		}
 		ra, rb := back.Column("a"), back.Column("b")
 		for i := range a {
-			// NaN never round-trips equal; exclude it.
-			if a[i] != a[i] || b[i] != b[i] {
-				return true
-			}
-			if ra[i] != a[i] || rb[i] != b[i] {
+			if !sameFloat(ra[i], a[i]) || !sameFloat(rb[i], b[i]) {
 				return false
 			}
 		}
@@ -114,6 +111,46 @@ func TestCSVRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// sameFloat is exact equality except that any NaN matches any NaN:
+// FormatFloat renders every NaN payload as "NaN" and ParseFloat returns
+// the canonical quiet NaN, so NaN-ness survives the trip, payloads don't.
+func sameFloat(got, want float64) bool {
+	if math.IsNaN(want) {
+		return math.IsNaN(got)
+	}
+	return got == want
+}
+
+func TestCSVRoundTripNonFinite(t *testing.T) {
+	vals := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0,
+		math.Copysign(0, -1), math.MaxFloat64, math.SmallestNonzeroFloat64,
+		math.Float64frombits(0x7ff8dead_beef0001)} // NaN with a payload
+	tb := NewTable()
+	if err := tb.AddColumn("v", vals); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.Column("v")
+	for i, want := range vals {
+		if !sameFloat(got[i], want) {
+			t.Errorf("v[%d] round-tripped to %v (bits %#x), want %v", i, got[i], math.Float64bits(got[i]), want)
+		}
+	}
+	// ±Inf and signed zero must survive bit-exactly.
+	for _, i := range []int{1, 2, 3, 4} {
+		if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+			t.Errorf("v[%d] bits %#x, want %#x", i, math.Float64bits(got[i]), math.Float64bits(vals[i]))
+		}
 	}
 }
 
@@ -138,6 +175,34 @@ func TestReadCSVErrors(t *testing.T) {
 		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
 			t.Errorf("ReadCSV(%q) succeeded", in)
 		}
+	}
+}
+
+func TestReadCSVRejectsHeaderlessFile(t *testing.T) {
+	// A file whose first row is fully numeric lost its header; parsing it
+	// as column names would silently mislabel every column.
+	_, err := ReadCSV(strings.NewReader("1,2\n3,4\n"))
+	if err == nil || !strings.Contains(err.Error(), "missing header row") {
+		t.Fatalf("headerless file not diagnosed: %v", err)
+	}
+	// "NaN" and "Inf" parse as floats too, so an all-special first row is
+	// equally headerless.
+	_, err = ReadCSV(strings.NewReader("# comment\nNaN,+Inf\n1,2\n"))
+	if err == nil || !strings.Contains(err.Error(), "missing header row") {
+		t.Fatalf("special-value first row not diagnosed: %v", err)
+	}
+	// A partially numeric header (a column legitimately named e.g. "4")
+	// still parses.
+	tb, err := ReadCSV(strings.NewReader("round,4\n1,2\n"))
+	if err != nil || tb.Column("4") == nil {
+		t.Fatalf("mixed header rejected: %v", err)
+	}
+}
+
+func TestReadCSVRejectsDuplicateHeader(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader("x,y,x\n1,2,3\n"))
+	if err == nil || !strings.Contains(err.Error(), "duplicate column") {
+		t.Fatalf("duplicate header not rejected up front: %v", err)
 	}
 }
 

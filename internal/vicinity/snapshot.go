@@ -1,0 +1,42 @@
+package vicinity
+
+import (
+	"polystyrene/internal/sim"
+	"polystyrene/internal/snap"
+)
+
+var _ sim.Snapshotter = (*Protocol)(nil)
+
+// SnapshotState implements sim.Snapshotter. The per-node views (IDs and
+// ages) are the protocol's only cross-round state; worker scratch and the
+// matcher's plan mirrors are rebuilt every round.
+func (p *Protocol) SnapshotState(w *snap.Writer) {
+	w.Len(len(p.views))
+	for _, v := range p.views {
+		w.Len(len(v))
+		for _, e := range v {
+			w.Int(int(e.id))
+			w.Int(e.age)
+		}
+	}
+}
+
+// RestoreState implements sim.Snapshotter.
+func (p *Protocol) RestoreState(r *snap.Reader) error {
+	n := r.Len(8)
+	views := make([][]entry, n)
+	for i := range views {
+		ln := r.Len(16)
+		v := make([]entry, ln)
+		for j := range v {
+			v[j].id = sim.NodeID(r.Int())
+			v[j].age = r.Int()
+		}
+		views[i] = v
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	p.views = views
+	return nil
+}

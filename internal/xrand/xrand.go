@@ -71,6 +71,24 @@ func (r *Rand) Split() *Rand {
 	return child
 }
 
+// State returns the raw xoshiro256** state words. Together with SetState
+// it allows a generator to be serialized and later resumed mid-stream,
+// which the snapshot/restore machinery relies on for bit-identical replay.
+func (r *Rand) State() [4]uint64 {
+	return [4]uint64{r.s0, r.s1, r.s2, r.s3}
+}
+
+// SetState overwrites the generator state with previously captured words.
+// An all-zero state is a xoshiro fixed point and is therefore rejected by
+// substituting the same non-zero word reseed would use; State never returns
+// all zeros for a generator constructed through New/Split/Reseed.
+func (r *Rand) SetState(s [4]uint64) {
+	r.s0, r.s1, r.s2, r.s3 = s[0], s[1], s[2], s[3]
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
+	}
+}
+
 // Reseed resets the generator to the state New(seed) would produce,
 // reusing the receiver's storage. Reseeding an existing generator from a
 // stream of parent-drawn seeds is exactly equivalent to Split — the
