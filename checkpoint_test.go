@@ -107,3 +107,25 @@ func TestSystemRestoreRejectsMismatch(t *testing.T) {
 		t.Fatal("restored system shape diverged")
 	}
 }
+
+// TestSystemDoubleClose: the graceful-shutdown path closes once on the
+// signal handler and once in a defer — both must be safe, and the
+// system must stay readable in between.
+func TestSystemDoubleClose(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{
+		Seed:                9,
+		Space:               Torus(20, 10),
+		Shape:               TorusShape(20, 10, 1),
+		ReplicationFactor:   4,
+		ExchangeParallelism: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(3)
+	sys.Close()
+	sys.Close()
+	if sys.NumLive() == 0 {
+		t.Fatal("system unreadable after double Close")
+	}
+}

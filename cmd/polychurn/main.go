@@ -10,10 +10,20 @@
 // The convergence phase can be paid once and reused: -warm converges a
 // single cell in-process and warm-starts every rate from it, while
 // -checkpoint/-resume split the same idea across invocations through a
-// checksummed snapshot file:
+// checksummed snapshot file (written atomically — a crash mid-write
+// never leaves a half-written snapshot under the target name):
 //
 //	polychurn -checkpoint warm.snap           # converge once, save, stop
 //	polychurn -resume warm.snap -rates 0.01,0.02,0.05
+//
+// -checkpoint-dir/-resume-dir are the crash-safe directory form: the
+// converged snapshot is saved as a rotated, checksummed generation
+// (retention bounded by -checkpoint-keep), and -resume-dir warm-starts
+// from the newest generation that verifies, silently skipping a torn or
+// corrupt one:
+//
+//	polychurn -checkpoint-dir warm/           # converge once, save a generation
+//	polychurn -resume-dir warm/ -rates 0.01,0.02,0.05
 package main
 
 import (
@@ -24,6 +34,7 @@ import (
 	"strconv"
 	"strings"
 
+	"polystyrene/internal/ckpt"
 	"polystyrene/internal/scenario"
 )
 
@@ -55,17 +66,29 @@ func run(args []string, out io.Writer) error {
 		warm = fs.Bool("warm", false,
 			"converge one cell and warm-start every rate from its checkpoint instead of re-converging per rate")
 		checkpointFile = fs.String("checkpoint", "",
-			"converge the base configuration, write its snapshot to this file and stop (no sweep is run)")
+			"converge the base configuration, write its snapshot atomically to this file and stop (no sweep is run)")
 		resumeFile = fs.String("resume", "",
 			"warm-start every rate from a snapshot file written by -checkpoint (grid and K flags must match it)")
+		checkpointDir = fs.String("checkpoint-dir", "",
+			"converge the base configuration, save it as a rotated checksummed generation in this directory and stop (no sweep is run)")
+		resumeDir = fs.String("resume-dir", "",
+			"warm-start every rate from the newest generation in this directory that verifies (torn or corrupt generations are skipped)")
+		keep = fs.Int("checkpoint-keep", 3,
+			"how many generations -checkpoint-dir retains")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *checkpointFile != "" && *checkpointDir != "" {
+		return fmt.Errorf("-checkpoint and -checkpoint-dir are mutually exclusive")
+	}
+	if *resumeFile != "" && *resumeDir != "" {
+		return fmt.Errorf("-resume and -resume-dir are mutually exclusive")
+	}
 
 	base := scenario.Config{Seed: *seed, W: *w, H: *h, K: *k}
 
-	if *checkpointFile != "" {
+	if *checkpointFile != "" || *checkpointDir != "" {
 		cfg := base
 		cfg.Polystyrene = true
 		cfg.ExchangeParallelism = *exchange
@@ -73,7 +96,25 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*checkpointFile, b, 0o644); err != nil {
+		if *checkpointDir != "" {
+			mgr, err := ckpt.NewManager(ckpt.Options{
+				Dir: *checkpointDir, Kind: scenario.SnapshotKind, Keep: *keep,
+			})
+			if err != nil {
+				return err
+			}
+			g, err := mgr.Save(*converge, func(dst io.Writer) error {
+				_, err := dst.Write(b)
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "# converged snapshot (%d rounds, %dx%d torus, K=%d) saved as %s; sweep with -resume-dir %s\n",
+				*converge, *w, *h, *k, g.Name, *checkpointDir)
+			return nil
+		}
+		if err := ckpt.WriteFileAtomic(nil, *checkpointFile, b); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "# converged snapshot (%d rounds, %dx%d torus, K=%d) written to %s; sweep with -resume %s\n",
@@ -91,6 +132,18 @@ func run(args []string, out io.Writer) error {
 		warmSnapshot, err = os.ReadFile(*resumeFile)
 		if err != nil {
 			return err
+		}
+	}
+	if *resumeDir != "" {
+		mgr, err := ckpt.NewManager(ckpt.Options{
+			Dir: *resumeDir, Kind: scenario.SnapshotKind, Keep: *keep,
+		})
+		if err != nil {
+			return err
+		}
+		_, warmSnapshot, err = mgr.OpenLatestGood()
+		if err != nil {
+			return fmt.Errorf("resume-dir %s: %w", *resumeDir, err)
 		}
 	}
 	outs, err := scenario.ChurnSweep(base, rates, scenario.ChurnSweepOpts{

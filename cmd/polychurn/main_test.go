@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -90,6 +92,84 @@ func TestCheckpointResumeSweep(t *testing.T) {
 	}, &mismatch)
 	if err == nil || !strings.Contains(err.Error(), "does not match") {
 		t.Fatalf("resume into mismatched grid not refused: %v", err)
+	}
+}
+
+// TestCheckpointDirResumeDirSweep exercises the crash-safe directory
+// form: a generation saved by -checkpoint-dir warm-starts the sweep via
+// -resume-dir byte-identically to the single-file -checkpoint/-resume
+// path, and a corrupted newest generation is skipped in favour of the
+// previous good one.
+func TestCheckpointDirResumeDirSweep(t *testing.T) {
+	dir := t.TempDir()
+	sweepFlags := []string{"-w", "16", "-h", "8", "-rates", "0,0.02", "-rounds", "10", "-settle", "8"}
+
+	var b strings.Builder
+	if err := run([]string{"-w", "16", "-h", "8", "-converge", "8", "-checkpoint-dir", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "saved as gen-0000000008") {
+		t.Fatalf("checkpoint-dir run output unexpected:\n%s", b.String())
+	}
+
+	// The single-file path from the same configuration is the reference.
+	snapFile := filepath.Join(t.TempDir(), "warm.snap")
+	b.Reset()
+	if err := run([]string{"-w", "16", "-h", "8", "-converge", "8", "-checkpoint", snapFile}, &b); err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if err := run(append(append([]string{}, sweepFlags...), "-resume", snapFile), &want); err != nil {
+		t.Fatal(err)
+	}
+
+	var got strings.Builder
+	if err := run(append(append([]string{}, sweepFlags...), "-resume-dir", dir), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatal("-resume-dir sweep differs from the single-file -resume sweep")
+	}
+
+	// Add a newer generation, corrupt it, and require fallback to the
+	// round-8 one — the sweep must still match the reference.
+	b.Reset()
+	if err := run([]string{"-w", "16", "-h", "8", "-converge", "10", "-checkpoint-dir", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	newest := filepath.Join(dir, "gen-0000000010.snap")
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newest, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got.Reset()
+	if err := run(append(append([]string{}, sweepFlags...), "-resume-dir", dir), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatal("sweep after corrupt-newest fallback differs from the reference sweep")
+	}
+
+	// A mismatched grid must still be refused via the config digest.
+	var mismatch strings.Builder
+	err = run([]string{"-w", "20", "-h", "10", "-rates", "0.02", "-rounds", "5", "-resume-dir", dir}, &mismatch)
+	if err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("resume-dir into mismatched grid not refused: %v", err)
+	}
+}
+
+func TestRunRejectsConflictingCheckpointFlags(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-checkpoint", "a.snap", "-checkpoint-dir", "d"}, &b); err == nil ||
+		!strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("-checkpoint with -checkpoint-dir accepted: %v", err)
+	}
+	if err := run([]string{"-resume", "a.snap", "-resume-dir", "d"}, &b); err == nil ||
+		!strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("-resume with -resume-dir accepted: %v", err)
 	}
 }
 

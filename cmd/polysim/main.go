@@ -14,14 +14,31 @@
 //
 //	polysim -checkpoint state.snap -checkpoint-at 50   # run to round 50, save, stop
 //	polysim -resume state.snap                         # finish the same run
+//
+// For crash-safe soaks, -checkpoint-dir holds rotated generations
+// written atomically (temp file → fsync → rename → dir fsync), each
+// independently checksummed. -auto-checkpoint-every N saves on a round
+// cadence and -checkpoint-keep M bounds retention; SIGINT/SIGTERM save
+// a final generation, close cleanly and exit; -resume-latest recovers
+// from the newest generation that verifies, silently skipping a torn or
+// corrupt one. -watchdog-stall D aborts a hung soak with a stall report
+// (stuck round, last durable checkpoint, full goroutine dump):
+//
+//	polysim -checkpoint-dir ckpt -auto-checkpoint-every 25 -watchdog-stall 5m
+//	polysim -checkpoint-dir ckpt -resume-latest        # finish after a crash
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 
+	"polystyrene/internal/ckpt"
 	"polystyrene/internal/core"
 	"polystyrene/internal/scenario"
 )
@@ -33,19 +50,55 @@ func main() {
 	}
 }
 
+type driveOutcome int
+
+const (
+	driveCompleted   driveOutcome = iota
+	driveStopped                  // reached the -checkpoint-at round
+	driveInterrupted              // SIGINT/SIGTERM
+)
+
+type driveOpts struct {
+	stopAt    int                        // checkpoint-and-stop round; -1 = none
+	auto      *scenario.AutoCheckpointer // nil = no auto-checkpointing
+	interrupt <-chan os.Signal           // nil = no graceful-stop channel
+	watchdog  *scenario.Watchdog         // nil = no stall detection
+	onSave    func(ckpt.Generation)      // called after each durable save
+}
+
 // drive advances sc through the paper's schedule one round at a time,
-// firing each phase event at the start of its round. When stopAt is >= 0
-// and the scenario reaches that round, drive stops — before the round's
-// events, so a resumed run re-enters the loop at the same point and fires
-// them itself. This one loop serves fresh, checkpointing and resumed runs
-// alike, which is what makes a resumed CSV byte-identical to an
-// uninterrupted one.
-func drive(sc *scenario.Scenario, phases scenario.Phases, stopAt int) (stopped bool) {
+// firing each phase event at the start of its round. Checkpoints — the
+// auto cadence, the -checkpoint-at stop and the interrupt check — all
+// happen at round start BEFORE that round's events, so a resumed run
+// re-enters the loop at the same point and fires them itself. This one
+// loop serves fresh, checkpointing, interrupted and resumed runs alike,
+// which is what makes a resumed CSV byte-identical to an uninterrupted
+// one.
+func drive(sc *scenario.Scenario, phases scenario.Phases, o driveOpts) (driveOutcome, error) {
 	total := sc.Cfg.W * sc.Cfg.H
 	for sc.Engine.Round() < phases.End {
 		r := sc.Engine.Round()
-		if r == stopAt {
-			return true
+		if o.watchdog != nil {
+			o.watchdog.Tick(r)
+		}
+		if o.interrupt != nil {
+			select {
+			case <-o.interrupt:
+				return driveInterrupted, nil
+			default:
+			}
+		}
+		if r == o.stopAt {
+			return driveStopped, nil
+		}
+		if o.auto != nil {
+			g, saved, err := o.auto.MaybeSave(r)
+			if err != nil {
+				return driveCompleted, fmt.Errorf("auto-checkpoint at round %d: %w", r, err)
+			}
+			if saved && o.onSave != nil {
+				o.onSave(g)
+			}
 		}
 		if r == phases.FailAt {
 			sc.FailRightHalf()
@@ -57,7 +110,7 @@ func drive(sc *scenario.Scenario, phases scenario.Phases, stopAt int) (stopped b
 		}
 		sc.Run(1)
 	}
-	return false
+	return driveCompleted, nil
 }
 
 func run(args []string, out io.Writer) error {
@@ -82,6 +135,16 @@ func run(args []string, out io.Writer) error {
 			"round at which -checkpoint saves (before that round's phase events)")
 		resumeFile = fs.String("resume", "",
 			"resume from a snapshot written by -checkpoint; all other flags must rebuild the same configuration, and the CSV printed is byte-identical to the uninterrupted run's")
+		checkpointDir = fs.String("checkpoint-dir", "",
+			"directory of rotated, atomically written checkpoint generations (with -auto-checkpoint-every / -resume-latest); SIGINT/SIGTERM save a final generation here before exiting")
+		autoEvery = fs.Int("auto-checkpoint-every", 0,
+			"save a generation into -checkpoint-dir every N rounds (0 = only the final signal-triggered save)")
+		keep = fs.Int("checkpoint-keep", 3,
+			"how many generations -checkpoint-dir retains")
+		resumeLatest = fs.Bool("resume-latest", false,
+			"resume from the newest generation in -checkpoint-dir that verifies (torn or corrupt generations are skipped); the finished CSV is byte-identical to the uninterrupted run's")
+		stall = fs.Duration("watchdog-stall", 0,
+			"abort with a stall report (stuck round, last checkpoint, goroutine dump) when no round completes for this long (0 = no watchdog)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -116,6 +179,12 @@ func run(args []string, out io.Writer) error {
 	if *checkpointFile == "" && *checkpointAt >= 0 {
 		return fmt.Errorf("-checkpoint-at needs -checkpoint FILE")
 	}
+	if (*autoEvery > 0 || *resumeLatest) && *checkpointDir == "" {
+		return fmt.Errorf("-auto-checkpoint-every and -resume-latest need -checkpoint-dir DIR")
+	}
+	if *resumeLatest && *resumeFile != "" {
+		return fmt.Errorf("-resume and -resume-latest are mutually exclusive")
+	}
 
 	sc, err := scenario.New(cfg)
 	if err != nil {
@@ -135,24 +204,79 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	// lastCkpt is read by the watchdog goroutine, so it is atomic.
+	var lastCkpt atomic.Value
+	lastCkpt.Store("")
+	var auto *scenario.AutoCheckpointer
+	if *checkpointDir != "" {
+		mgr, err := ckpt.NewManager(ckpt.Options{
+			Dir: *checkpointDir, Kind: scenario.SnapshotKind, Keep: *keep,
+		})
+		if err != nil {
+			return err
+		}
+		auto = scenario.NewAutoCheckpointer(sc, mgr, *autoEvery)
+		if *resumeLatest {
+			g, err := scenario.RestoreLatest(sc, mgr)
+			if err != nil {
+				return fmt.Errorf("resume-latest from %s: %w", *checkpointDir, err)
+			}
+			auto.MarkSaved(g.Round)
+			lastCkpt.Store(g.Path(*checkpointDir))
+		}
+	}
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	var wd *scenario.Watchdog
+	if *stall > 0 {
+		wd = scenario.NewWatchdog(*stall, func(lastRound int) {
+			scenario.StallReport(os.Stderr, lastRound, lastCkpt.Load().(string))
+			os.Exit(2)
+		})
+		defer wd.Stop()
+	}
+
 	stopAt := -1
 	if *checkpointFile != "" {
 		stopAt = *checkpointAt
 	}
-	if drive(sc, phases, stopAt) {
-		f, err := os.Create(*checkpointFile)
-		if err != nil {
-			return err
-		}
-		err = sc.SnapshotTo(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
+	outcome, err := drive(sc, phases, driveOpts{
+		stopAt:    stopAt,
+		auto:      auto,
+		interrupt: sigc,
+		watchdog:  wd,
+		onSave:    func(g ckpt.Generation) { lastCkpt.Store(g.Path(*checkpointDir)) },
+	})
+	if err != nil {
+		return err
+	}
+	switch outcome {
+	case driveStopped:
+		var buf bytes.Buffer
+		if err := sc.SnapshotTo(&buf); err != nil {
 			return fmt.Errorf("checkpoint %s: %w", *checkpointFile, err)
+		}
+		if err := ckpt.WriteFileAtomic(nil, *checkpointFile, buf.Bytes()); err != nil {
+			return err
 		}
 		fmt.Fprintf(out, "# checkpoint written to %s at round %d; finish with -resume %s\n",
 			*checkpointFile, sc.Engine.Round(), *checkpointFile)
+		return nil
+	case driveInterrupted:
+		r := sc.Engine.Round()
+		if auto == nil {
+			fmt.Fprintf(out, "# interrupted at round %d; no -checkpoint-dir, nothing saved\n", r)
+			return nil
+		}
+		g, err := auto.SaveNow(r)
+		if err != nil {
+			return fmt.Errorf("final checkpoint at round %d: %w", r, err)
+		}
+		fmt.Fprintf(out, "# interrupted at round %d; checkpoint %s saved; finish with -resume-latest\n",
+			r, g.Name)
 		return nil
 	}
 

@@ -1,0 +1,233 @@
+// Package faultio is a deterministic fault-injecting filesystem shim
+// over ckpt.FS, for property tests that must prove crash safety rather
+// than assume it.
+//
+// Every mutating operation — MkdirAll, Create, each Write chunk, Sync,
+// Close, Rename, Remove, SyncDir — consumes one slot of a global op
+// counter. Faults are keyed on that counter, which makes the fault
+// space enumerable: run the workload once with no faults, read Ops(),
+// and every index in [0, Ops()) is a distinct crash point.
+//
+// Two fault styles:
+//
+//   - CrashAt n: the n-th mutating op fails with ErrCrash and the shim
+//     latches a crashed state — every later operation (reads included)
+//     fails too, modelling process death. A crash landing on a Write
+//     chunk first writes a seed-determined prefix of that chunk, so
+//     torn writes are part of the enumeration, not a separate mode.
+//   - TransientOps n: the first n mutating ops fail with a retryable
+//     error (IsTransient-positive), exercising the manager's
+//     retry-with-backoff path.
+//
+// Everything is driven by Config.Seed through a splitmix64 stream, so
+// a failing crash point reproduces bit-identically from its index.
+package faultio
+
+import (
+	"errors"
+	"fmt"
+
+	"polystyrene/internal/ckpt"
+)
+
+// ErrCrash marks a simulated crash. It is deliberately not transient:
+// a dead process does not retry.
+var ErrCrash = errors.New("faultio: simulated crash")
+
+// NoCrash disables the crash point.
+const NoCrash = -1
+
+// Config selects the faults to inject.
+type Config struct {
+	// Seed drives torn-write prefix lengths deterministically.
+	Seed uint64
+	// CrashAt is the 0-based mutating-op index that crashes, or
+	// NoCrash (-1). The zero value crashes at the very first op, so
+	// always set it explicitly.
+	CrashAt int
+	// TransientOps makes the first N mutating ops fail retryably.
+	TransientOps int
+	// ChunkBytes splits each Write into chunks of at most this many
+	// bytes, each consuming one op slot — this is what turns byte
+	// offsets inside a large envelope write into enumerable crash
+	// points. 0 leaves writes whole.
+	ChunkBytes int
+}
+
+// FS implements ckpt.FS with injected faults. Not safe for concurrent
+// use: the op counter is the enumeration axis and must stay ordered.
+type FS struct {
+	inner   ckpt.FS
+	cfg     Config
+	rng     uint64
+	ops     int
+	crashed bool
+}
+
+// New wraps inner (usually ckpt.OS over a test temp dir) with faults.
+func New(inner ckpt.FS, cfg Config) *FS {
+	return &FS{inner: inner, cfg: cfg, rng: cfg.Seed}
+}
+
+// Ops reports how many mutating-op slots have been consumed. Run the
+// workload once with CrashAt: NoCrash to size the crash-point sweep.
+func (f *FS) Ops() int { return f.ops }
+
+// Crashed reports whether the crash point has fired.
+func (f *FS) Crashed() bool { return f.crashed }
+
+func (f *FS) next() uint64 {
+	f.rng += 0x9e3779b97f4a7c15
+	z := f.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// gate consumes one op slot and returns the fault for it, if any.
+func (f *FS) gate(op string) error {
+	if f.crashed {
+		return fmt.Errorf("faultio: %s after crash: %w", op, ErrCrash)
+	}
+	idx := f.ops
+	f.ops++
+	if f.cfg.CrashAt >= 0 && idx == f.cfg.CrashAt {
+		f.crashed = true
+		return fmt.Errorf("faultio: crash at op %d (%s): %w", idx, op, ErrCrash)
+	}
+	if idx < f.cfg.TransientOps {
+		return transientError{op: op, idx: idx}
+	}
+	return nil
+}
+
+func (f *FS) readGate(op string) error {
+	if f.crashed {
+		return fmt.Errorf("faultio: %s after crash: %w", op, ErrCrash)
+	}
+	return nil
+}
+
+func (f *FS) MkdirAll(dir string) error {
+	if err := f.gate("mkdir"); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+func (f *FS) Create(path string) (ckpt.File, error) {
+	if err := f.gate("create"); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner}, nil
+}
+
+func (f *FS) Rename(oldPath, newPath string) error {
+	if err := f.gate("rename"); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldPath, newPath)
+}
+
+func (f *FS) Remove(path string) error {
+	if err := f.gate("remove"); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *FS) ReadDir(dir string) ([]string, error) {
+	if err := f.readGate("readdir"); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(dir)
+}
+
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	if err := f.readGate("readfile"); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(path)
+}
+
+func (f *FS) SyncDir(dir string) error {
+	if err := f.gate("syncdir"); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+type file struct {
+	fs    *FS
+	inner ckpt.File
+}
+
+// Write consumes one op slot per chunk. A crash landing on a chunk
+// tears it: a seed-determined prefix reaches the inner file before the
+// error, so recovery sees a partially written region, not a clean cut
+// at a chunk boundary.
+func (w *file) Write(p []byte) (int, error) {
+	chunk := w.fs.cfg.ChunkBytes
+	if chunk <= 0 {
+		chunk = len(p)
+	}
+	total := 0
+	for len(p) > 0 {
+		n := chunk
+		if n > len(p) {
+			n = len(p)
+		}
+		wasCrashed := w.fs.crashed
+		if err := w.fs.gate("write"); err != nil {
+			// Tear only the chunk that fired the crash; a process
+			// that is already dead writes nothing.
+			if !wasCrashed && w.fs.crashed {
+				torn := int(w.fs.next() % uint64(n+1))
+				m, _ := w.inner.Write(p[:torn])
+				total += m
+			}
+			return total, err
+		}
+		m, err := w.inner.Write(p[:n])
+		total += m
+		if err != nil {
+			return total, err
+		}
+		p = p[n:]
+	}
+	return total, nil
+}
+
+func (w *file) Sync() error {
+	if err := w.fs.gate("fsync"); err != nil {
+		return err
+	}
+	return w.inner.Sync()
+}
+
+// Close always releases the inner handle — the kernel closes the fds
+// of a dead process — but the reported error still honors the fault
+// schedule, so a crash at Close leaves the temp file unrenamed.
+func (w *file) Close() error {
+	gateErr := w.fs.gate("close")
+	closeErr := w.inner.Close()
+	if gateErr != nil {
+		return gateErr
+	}
+	return closeErr
+}
+
+type transientError struct {
+	op  string
+	idx int
+}
+
+func (e transientError) Error() string {
+	return fmt.Sprintf("faultio: transient %s failure at op %d", e.op, e.idx)
+}
+
+func (e transientError) Transient() bool { return true }

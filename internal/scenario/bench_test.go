@@ -7,6 +7,7 @@ import (
 	"slices"
 	"testing"
 
+	"polystyrene/internal/ckpt"
 	"polystyrene/internal/metrics"
 	"polystyrene/internal/sim"
 )
@@ -183,6 +184,38 @@ func BenchmarkSnapshotRestore(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkAutoCheckpoint measures the durable-checkpoint tax on a
+// 51,200-node soak: each iteration is one engine round driven through an
+// AutoCheckpointer that writes atomic, fsynced, checksummed generations
+// (keep 2) into a temporary directory. every=0 is the no-checkpoint
+// baseline round, every=1 pays a full durable generation on every
+// round, and every=16 is a realistic soak cadence whose amortized cost
+// should sit near the baseline. Warm-up runs to round 16 so the cadence
+// fires on the first timed iteration even at -benchtime 1x.
+func BenchmarkAutoCheckpoint(b *testing.B) {
+	cfg := Config{Seed: 5, W: 320, H: 160, Polystyrene: true, K: 4, SkipMetrics: true}
+	for _, every := range []int{0, 1, 16} {
+		b.Run(fmt.Sprintf("every=%d", every), func(b *testing.B) {
+			sc := MustNew(cfg)
+			b.Cleanup(sc.Close)
+			sc.Run(16)
+			mgr, err := ckpt.NewManager(ckpt.Options{Dir: b.TempDir(), Kind: SnapshotKind, Keep: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			auto := NewAutoCheckpointer(sc, mgr, every)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := auto.MaybeSave(sc.Engine.Round()); err != nil {
+					b.Fatal(err)
+				}
+				sc.Run(1)
+			}
+		})
+	}
 }
 
 // BenchmarkMeasureReshaping measures the full-stack reshaping experiment

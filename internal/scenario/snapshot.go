@@ -6,18 +6,26 @@ import (
 	"io"
 	"sort"
 
+	"polystyrene/internal/fd"
 	"polystyrene/internal/sim"
 	"polystyrene/internal/snap"
 	"polystyrene/internal/space"
 )
 
-const scenarioKind = "scenario"
+// SnapshotKind is the snap envelope kind of scenario checkpoints; pass
+// it as ckpt.Options.Kind when a checkpoint directory holds scenario
+// snapshots.
+const SnapshotKind = "scenario"
+
+const scenarioKind = SnapshotKind
 
 // configDigest is the structural identity of a scenario embedded in every
 // snapshot: a snapshot may only be restored into a scenario wired from an
 // equivalent configuration (seed and execution knobs excluded — the RNG
 // state travels in the snapshot itself, and exchange parallelism is a
-// throughput knob that batched trajectories are invariant to).
+// throughput knob that batched trajectories are invariant to). The
+// failure detector is part of the identity: a Delayed(3) trajectory is
+// not a Perfect one, and resuming across that divide must fail loudly.
 type configDigest struct {
 	w, h           int
 	step           float64
@@ -28,6 +36,25 @@ type configDigest struct {
 	placement      int
 	fullCopyBackup bool
 	neighborK      int
+	detector       string
+}
+
+// detectorIdentity names a detector configuration for the digest. The
+// default string covers third-party detectors conservatively: two runs
+// only match when they use the same concrete type.
+func detectorIdentity(d fd.Detector) string {
+	switch det := d.(type) {
+	case nil:
+		return "perfect"
+	case fd.Perfect:
+		return "perfect"
+	case *fd.Delayed:
+		return fmt.Sprintf("delayed(%d)", det.Delay)
+	case *fd.Probabilistic:
+		return fmt.Sprintf("probabilistic(%g)", det.P)
+	default:
+		return fmt.Sprintf("%T", d)
+	}
 }
 
 func digestOf(cfg Config) configDigest {
@@ -41,6 +68,7 @@ func digestOf(cfg Config) configDigest {
 		polystyrene: cfg.Polystyrene, overlay: overlay,
 		k: cfg.K, split: int(cfg.Split), placement: int(cfg.Placement),
 		fullCopyBackup: cfg.FullCopyBackup, neighborK: cfg.NeighborK,
+		detector: detectorIdentity(cfg.Detector),
 	}
 }
 
@@ -55,6 +83,7 @@ func (d configDigest) write(w *snap.Writer) {
 	w.Int(d.placement)
 	w.Bool(d.fullCopyBackup)
 	w.Int(d.neighborK)
+	w.String(d.detector)
 }
 
 func readDigest(r *snap.Reader) configDigest {
@@ -69,6 +98,7 @@ func readDigest(r *snap.Reader) configDigest {
 	d.placement = r.Int()
 	d.fullCopyBackup = r.Bool()
 	d.neighborK = r.Int()
+	d.detector = r.String()
 	return d
 }
 

@@ -236,27 +236,52 @@ func Encode(kind string, body []byte) []byte {
 // Decode verifies an envelope end to end — magic, kind, version, body
 // length and whole-file checksum — and returns the body. It never returns
 // a partially validated body: any defect yields a nil body and an error.
+//
+// Truncation classes are diagnosed before the checksum so an interrupted
+// or torn write produces an actionable message ("empty snapshot",
+// "declares an N-byte body but only M remain") rather than a generic
+// corruption report; the checksum then covers every defect the structural
+// checks cannot see.
 func Decode(kind string, data []byte) ([]byte, error) {
 	const tail = 8 // trailing checksum
+	if len(data) == 0 {
+		return nil, fmt.Errorf("snap: empty snapshot (0 bytes): not a snapshot envelope")
+	}
+	if len(data) < len(magic) {
+		return nil, fmt.Errorf("snap: truncated snapshot: %d bytes is shorter than the %d-byte magic (interrupted write?)",
+			len(data), len(magic))
+	}
+	var m [8]byte
+	copy(m[:], data)
+	if m != magic {
+		return nil, fmt.Errorf("snap: bad magic %q: not a snapshot file", m[:])
+	}
 	if len(data) < len(magic)+tail {
-		return nil, fmt.Errorf("snap: truncated snapshot: %d bytes", len(data))
+		return nil, fmt.Errorf("snap: header-only snapshot: %d bytes cannot hold the trailing checksum (interrupted write?)",
+			len(data))
+	}
+	// Structural pass over the unverified envelope, tail excluded: a
+	// truncated file is reported as such, with the declared-vs-present
+	// byte counts, instead of as a bare checksum mismatch.
+	r := NewReader(data[len(magic) : len(data)-tail])
+	gotKind := r.String()
+	version := r.U32()
+	bodyLen := r.U64()
+	if r.Err() == nil && bodyLen > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("snap: truncated snapshot: envelope declares a %d-byte body but only %d bytes remain (interrupted write?)",
+			bodyLen, r.Remaining())
+	}
+	body := r.take(int(bodyLen))
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("snap: malformed envelope header: %w", err)
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("snap: %d trailing bytes after body", r.Remaining())
 	}
 	h := fnv.New64a()
 	h.Write(data[:len(data)-tail])
 	if got := binary.LittleEndian.Uint64(data[len(data)-tail:]); got != h.Sum64() {
 		return nil, fmt.Errorf("snap: checksum mismatch: file %#016x, computed %#016x (corrupted snapshot)", got, h.Sum64())
-	}
-	r := NewReader(data[:len(data)-tail])
-	var m [8]byte
-	copy(m[:], r.take(len(magic)))
-	if r.Err() == nil && m != magic {
-		return nil, fmt.Errorf("snap: bad magic %q: not a snapshot file", m[:])
-	}
-	gotKind := r.String()
-	version := r.U32()
-	body := r.Section()
-	if err := r.Err(); err != nil {
-		return nil, err
 	}
 	if gotKind != kind {
 		return nil, fmt.Errorf("snap: snapshot kind %q, want %q", gotKind, kind)
@@ -264,10 +289,7 @@ func Decode(kind string, data []byte) ([]byte, error) {
 	if version != Version {
 		return nil, fmt.Errorf("snap: unsupported snapshot version %d (this build reads version %d)", version, Version)
 	}
-	if r.Remaining() != 0 {
-		return nil, fmt.Errorf("snap: %d trailing bytes after body", r.Remaining())
-	}
-	return body.data, nil
+	return body, nil
 }
 
 // WriteEnvelope encodes body and writes the envelope to w.

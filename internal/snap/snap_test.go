@@ -197,6 +197,56 @@ func TestEnvelopeRejectsWrongVersion(t *testing.T) {
 	}
 }
 
+// TestEnvelopeTruncationDiagnostics pins the error message of every
+// truncation class at the envelope layer: an operator reading a recovery
+// log must be able to tell an empty or torn file (a crash mid-write) from
+// genuine bit-level corruption.
+func TestEnvelopeTruncationDiagnostics(t *testing.T) {
+	enc := Encode("engine", []byte("0123456789abcdef"))
+	headerLen := len(magic) + 8 + len("engine") + 4 // magic + kind + version
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "empty snapshot"},
+		{"empty-slice", []byte{}, "empty snapshot"},
+		{"partial-magic", enc[:3], "shorter than the 8-byte magic"},
+		{"magic-only", enc[:len(magic)], "header-only snapshot"},
+		{"header-under-checksum", enc[:len(magic)+7], "header-only snapshot"},
+		{"mid-kind", enc[:len(magic)+10], "malformed envelope header"},
+		{"header-only", enc[:headerLen], "malformed envelope header"},
+		{"body-length-cut", enc[:headerLen+4], "malformed envelope header"},
+		{"mid-body", enc[:len(enc)-12], "declares a 16-byte body"},
+		{"checksum-cut", enc[:len(enc)-3], "declares a 16-byte body"},
+		{"not-a-snapshot", []byte("#!/bin/sh\necho hello\n"), "bad magic"},
+		{"bit-flip-body", flipByte(enc, headerLen+10), "checksum mismatch"},
+		{"bit-flip-checksum", flipByte(enc, len(enc)-1), "checksum mismatch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode("engine", tc.data)
+			if err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			// ReadEnvelope must surface the identical diagnosis.
+			_, rerr := ReadEnvelope(bytes.NewReader(tc.data), "engine")
+			if rerr == nil || !strings.Contains(rerr.Error(), tc.want) {
+				t.Fatalf("ReadEnvelope error %q does not mention %q", rerr, tc.want)
+			}
+		})
+	}
+}
+
+func flipByte(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0x40
+	return out
+}
+
 func appendChecksum(b []byte) []byte {
 	// Mirrors Encode's trailer for hand-built test envelopes.
 	h := fnv.New64a()

@@ -7,9 +7,11 @@
 # variants) and the 51,200-node BenchmarkParallelRound worker sweep (w=0
 # sequential engine, w>=1 the persistent-pool batched scheduler;
 # wall-clock gains need a multi-core machine), and, from BENCH_6 on, the
-# 51,200-node BenchmarkSnapshotRestore checkpoint/restore round trip, and
-# converts the `go test -json` stream into a stable JSON document via
-# scripts/benchjson.
+# 51,200-node BenchmarkSnapshotRestore checkpoint/restore round trip,
+# and, from BENCH_7 on, the 51,200-node BenchmarkAutoCheckpoint
+# durable-checkpoint tax (per-round cost at cadences 0/1/16 of writing
+# atomic fsynced generations), and converts the `go test -json` stream
+# into a stable JSON document via scripts/benchjson.
 #
 # It then gates the steady-state gossip hot path: one warmed
 # BenchmarkGossipRound per overlay package (rps, tman, vicinity) must
@@ -21,11 +23,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_6.json}"
+out="${1:-BENCH_7.json}"
 benchtime="${2:-5x}"
 
 go test -json -run '^$' \
-  -bench 'BenchmarkMigrateRound|BenchmarkMetricsRound|BenchmarkProximityRound|BenchmarkNeighborsQuery|BenchmarkFig10aScalability|BenchmarkParallelRound|BenchmarkSnapshotRestore' \
+  -bench 'BenchmarkMigrateRound|BenchmarkMetricsRound|BenchmarkProximityRound|BenchmarkNeighborsQuery|BenchmarkFig10aScalability|BenchmarkParallelRound|BenchmarkSnapshotRestore|BenchmarkAutoCheckpoint' \
   -benchmem -benchtime "$benchtime" -timeout 60m \
   . ./internal/core/ ./internal/scenario/ ./internal/tman/ |
   go run ./scripts/benchjson > "$out"
