@@ -1,0 +1,426 @@
+// Command polyserve runs a Polystyrene overlay as a live service: the
+// engine advances gossip rounds on one goroutine while an HTTP frontend
+// answers lookups, neighbour queries and node inspections from
+// epoch-published read snapshots (see internal/serve) — the paper's
+// "keeps serving while dying and recovering" claim, made operational.
+//
+//	polyserve                            # 80x40 torus workload on :4600
+//	polyserve -w 24 -h 12 -interval 20ms # smaller, faster rounds
+//	polyserve -fail-at 50 -reinject-at 100 -rounds 200
+//	polyserve -profiles 256              # DECENT-style per-user profile points
+//	polyserve -selftest -duration 2s     # embedded load generator, no sockets to babysit
+//
+// Endpoints: /lookup?q=x,y · /neighbors?id=N&k=K · /node/{id} · /stats ·
+// /healthz. Every response carries its epoch and round, so staleness is
+// observable; before the first epoch and after shutdown starts the
+// service answers 503 warming/draining.
+//
+// SIGINT/SIGTERM drain gracefully: the publisher closes (new queries get
+// 503 draining), in-flight requests finish, the listener shuts down, and
+// with -checkpoint-dir a final checkpoint generation is saved so the
+// soak is crash-safe end to end (resume with -resume-latest).
+//
+// -selftest runs the serving soak in-process: a three-phase schedule
+// (calm, catastrophe + recovery, steady churn) under a closed-loop load
+// generator hitting the real HTTP stack, printing sustained QPS and
+// p50/p90/p99/p999 latency histograms per phase, and failing unless
+// every phase served queries without errors.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"polystyrene"
+	"polystyrene/internal/ckpt"
+	"polystyrene/internal/scenario"
+	"polystyrene/internal/serve"
+	"polystyrene/internal/serve/loadgen"
+	"polystyrene/internal/shape"
+	"polystyrene/internal/sim"
+	"polystyrene/internal/space"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "polyserve:", err)
+		os.Exit(1)
+	}
+}
+
+// profileTopics/profileCommunities fix the -profiles keyspace to the
+// examples/profiles workload: 24 0/1 topics, 4 interest communities.
+const (
+	profileTopics      = 24
+	profileCommunities = 4
+)
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("polyserve", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:4600", "HTTP listen address")
+		w        = fs.Int("w", 80, "torus grid width")
+		h        = fs.Int("h", 40, "torus grid height")
+		k        = fs.Int("k", 4, "replication factor K")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		fanout   = fs.Int("fanout", 0, "epoch router-view fanout (0 = default)")
+		interval = fs.Duration("interval", 50*time.Millisecond,
+			"wall-clock pacing per gossip round (0 = as fast as possible)")
+		rounds = fs.Int("rounds", 0,
+			"stop advancing after this many rounds and keep serving the last epoch (0 = run until signalled)")
+		failAt = fs.Int("fail-at", -1,
+			"round of the catastrophic right-half failure (-1 = never)")
+		reinjectAt = fs.Int("reinject-at", -1,
+			"round at which crashed capacity is reinjected (-1 = never)")
+		profilesN = fs.Int("profiles", 0,
+			"serve the DECENT-style profiles workload with this many per-user profile points instead of the torus scenario")
+		checkpointDir = fs.String("checkpoint-dir", "",
+			"directory of rotated, atomically written checkpoint generations; SIGINT/SIGTERM save a final generation here before draining")
+		autoEvery = fs.Int("auto-checkpoint-every", 0,
+			"save a generation into -checkpoint-dir every N rounds (0 = only the final signal-triggered save)")
+		keep = fs.Int("checkpoint-keep", 3,
+			"how many generations -checkpoint-dir retains")
+		resumeLatest = fs.Bool("resume-latest", false,
+			"resume from the newest generation in -checkpoint-dir that verifies")
+		selftest = fs.Bool("selftest", false,
+			"run the in-process serving soak with the embedded load generator and exit")
+		duration = fs.Duration("duration", 2*time.Second, "selftest duration")
+		workers  = fs.Int("workers", 4, "selftest load-generator workers")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*autoEvery > 0 || *resumeLatest) && *checkpointDir == "" {
+		return fmt.Errorf("-auto-checkpoint-every and -resume-latest need -checkpoint-dir DIR")
+	}
+	if *failAt >= 0 && *reinjectAt >= 0 && *reinjectAt < *failAt {
+		return fmt.Errorf("-reinject-at %d precedes -fail-at %d", *reinjectAt, *failAt)
+	}
+	if *selftest {
+		return runSelftest(out, *seed, *w, *h, *k, *fanout, *workers, *duration)
+	}
+	if *profilesN > 0 {
+		if *checkpointDir != "" {
+			return fmt.Errorf("-checkpoint-dir needs the torus scenario workload (checkpointing does not cover -profiles)")
+		}
+		return serveProfiles(out, *addr, *seed, *profilesN, *fanout, *interval, *rounds)
+	}
+	return serveScenario(out, *addr, scenario.Config{
+		Seed: *seed, W: *w, H: *h, Polystyrene: true, K: *k, SkipMetrics: true,
+	}, *fanout, *interval, *rounds, *failAt, *reinjectAt,
+		*checkpointDir, *autoEvery, *keep, *resumeLatest)
+}
+
+// service bundles the HTTP half: publisher, frontend, listener, server.
+type service struct {
+	pub   *serve.Publisher
+	front *serve.Frontend
+	ln    net.Listener
+	srv   *http.Server
+	done  chan error
+}
+
+func startService(addr string, pub *serve.Publisher) (*service, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &service{
+		pub:   pub,
+		front: serve.NewFrontend(pub),
+		ln:    ln,
+		done:  make(chan error, 1),
+	}
+	s.srv = &http.Server{Handler: s.front}
+	go func() { s.done <- s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// drain is the graceful shutdown: close the publisher first so new
+// queries see 503 draining, let in-flight requests finish, then shut the
+// listener down.
+func (s *service) drain(out io.Writer) {
+	s.pub.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	s.srv.Shutdown(ctx)
+	err := <-s.done
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(out, "# server error during drain: %v\n", err)
+	}
+	fmt.Fprintf(out, "# drained after %d queries\n", s.front.Queries())
+}
+
+func notifyStop() (chan os.Signal, func()) {
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	return sigc, func() { signal.Stop(sigc) }
+}
+
+func stopped(sigc <-chan os.Signal) bool {
+	select {
+	case <-sigc:
+		return true
+	default:
+		return false
+	}
+}
+
+func serveScenario(out io.Writer, addr string, cfg scenario.Config,
+	fanout int, interval time.Duration, rounds, failAt, reinjectAt int,
+	ckptDir string, autoEvery, keep int, resumeLatest bool) error {
+
+	sc, err := scenario.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+
+	var auto *scenario.AutoCheckpointer
+	if ckptDir != "" {
+		mgr, err := ckpt.NewManager(ckpt.Options{
+			Dir: ckptDir, Kind: scenario.SnapshotKind, Keep: keep,
+		})
+		if err != nil {
+			return err
+		}
+		auto = scenario.NewAutoCheckpointer(sc, mgr, autoEvery)
+		if resumeLatest {
+			g, err := scenario.RestoreLatest(sc, mgr)
+			if err != nil {
+				return fmt.Errorf("resume-latest from %s: %w", ckptDir, err)
+			}
+			auto.MarkSaved(g.Round)
+			fmt.Fprintf(out, "# resumed from %s at round %d\n", g.Name, g.Round)
+		}
+	}
+
+	// Register the signal handler before the listen address is printed:
+	// anyone who has seen the banner may signal us, and the signal must
+	// land in sigc, not kill the process.
+	sigc, stopNotify := notifyStop()
+	defer stopNotify()
+
+	pub := sc.ServePublisher(fanout)
+	svc, err := startService(addr, pub)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "# serving torus %dx%d (K=%d) on http://%s\n",
+		cfg.W, cfg.H, cfg.K, svc.ln.Addr())
+
+	end := rounds
+	if end <= 0 {
+		end = math.MaxInt32
+	}
+	ph := scenario.Phases{FailAt: failAt, ReinjectAt: reinjectAt, End: end}
+	interrupted := false
+	scenario.DrivePhasesFunc(sc, ph, end, func(round int) bool {
+		if stopped(sigc) {
+			interrupted = true
+			return false
+		}
+		if auto != nil {
+			if _, _, err := auto.MaybeSave(round); err != nil {
+				fmt.Fprintf(out, "# auto-checkpoint at round %d failed: %v\n", round, err)
+			}
+		}
+		if interval > 0 {
+			time.Sleep(interval)
+		}
+		return true
+	})
+	if !interrupted {
+		// Phase script finished: keep serving the final epoch until told
+		// to stop.
+		fmt.Fprintf(out, "# round schedule complete at round %d; serving final epoch\n",
+			sc.Engine.Round())
+		<-sigc
+	}
+
+	r := sc.Engine.Round()
+	if auto != nil {
+		if g, err := auto.SaveNow(r); err != nil {
+			fmt.Fprintf(out, "# final checkpoint at round %d failed: %v\n", r, err)
+		} else {
+			fmt.Fprintf(out, "# final checkpoint %s saved; resume with -resume-latest\n", g.Name)
+		}
+	}
+	sc.StopServing()
+	svc.drain(out)
+	fmt.Fprintf(out, "# stopped at round %d with %d live nodes\n", r, sc.Engine.NumLive())
+	return nil
+}
+
+func serveProfiles(out io.Writer, addr string, seed uint64, users, fanout int,
+	interval time.Duration, rounds int) error {
+
+	perCommunity := users / profileCommunities
+	if perCommunity < 1 {
+		perCommunity = 1
+	}
+	pts := shape.Profiles(perCommunity, profileTopics, profileCommunities)
+	sys, err := newProfilesSystem(seed, pts)
+	if err != nil {
+		return err
+	}
+	// Signal handler first (see serveScenario).
+	sigc, stopNotify := notifyStop()
+	defer stopNotify()
+
+	pub := sys.ServePublisher(fanout)
+	svc, err := startService(addr, pub)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "# serving %d profile points (%d communities x %d users, Hamming(%d)) on http://%s\n",
+		len(pts), profileCommunities, perCommunity, profileTopics, svc.ln.Addr())
+	for r := 0; rounds <= 0 || r < rounds; r++ {
+		if stopped(sigc) {
+			break
+		}
+		sys.Run(1)
+		if interval > 0 {
+			time.Sleep(interval)
+		}
+	}
+	if rounds > 0 && !stopped(sigc) {
+		fmt.Fprintf(out, "# round schedule complete at round %d; serving final epoch\n", sys.Round())
+		<-sigc
+	}
+	sys.StopServing()
+	svc.drain(out)
+	fmt.Fprintf(out, "# stopped at round %d with %d live nodes\n", sys.Round(), sys.NumLive())
+	return nil
+}
+
+// newProfilesSystem builds the facade system hosting the profile shape,
+// with the replication factor of examples/profiles (K=6: small shapes
+// need deeper replication to survive a whole community vanishing).
+func newProfilesSystem(seed uint64, pts []space.Point) (*polystyrene.System, error) {
+	profiles := make([][]float64, len(pts))
+	for i, p := range pts {
+		profiles[i] = p
+	}
+	return polystyrene.NewSystem(polystyrene.SystemConfig{
+		Seed:              seed,
+		Space:             polystyrene.Hamming(profileTopics),
+		Shape:             profiles,
+		ReplicationFactor: 6,
+	})
+}
+
+// runSelftest runs the whole serving story in one process: a scenario
+// paced to fit three phases into the requested duration — calm,
+// catastrophe + recovery (right half fails, then reinjects), steady
+// churn (1% of the population replaced every round) — while the load
+// generator drives the real HTTP stack over loopback, one measurement
+// window per phase.
+func runSelftest(out io.Writer, seed uint64, w, h, k, fanout, workers int, duration time.Duration) error {
+	if w*h > 40*20 {
+		// The selftest is a smoke check, not a capacity run: cap the grid
+		// so rounds stay much shorter than the measurement windows.
+		w, h = 40, 20
+	}
+	sc, err := scenario.New(scenario.Config{
+		Seed: seed, W: w, H: h, Polystyrene: true, K: k, SkipMetrics: true,
+	})
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	pub := sc.ServePublisher(fanout)
+	svc, err := startService("127.0.0.1:0", pub)
+	if err != nil {
+		return err
+	}
+	base := "http://" + svc.ln.Addr().String()
+	fmt.Fprintf(out, "# selftest: torus %dx%d (K=%d), %v, %d workers, %s\n",
+		w, h, k, duration, workers, base)
+
+	const end = 150
+	failAt, churnFrom := end/3, 2*end/3
+	ph := scenario.Phases{FailAt: failAt, ReinjectAt: churnFrom, End: end}
+	total := w * h
+
+	stop := make(chan struct{})
+	driveDone := make(chan struct{})
+	start := time.Now()
+	// Pace against a deadline, not a fixed interval: round r should
+	// finish by 80% of duration * r/end, so the schedule lands inside
+	// the measurement windows (catastrophe in window 2, churn in window
+	// 3) even when round compute eats into the pacing budget.
+	budget := duration * 4 / 5
+	go func() {
+		defer close(driveDone)
+		scenario.DrivePhasesFunc(sc, ph, end, func(round int) bool {
+			select {
+			case <-stop:
+				return false
+			default:
+			}
+			if round > churnFrom {
+				// Steady churn: replace 1% of the population each round.
+				// All engine mutation stays on this driving goroutine.
+				n := total / 100
+				if n < 1 {
+					n = 1
+				}
+				for i := 0; i < n; i++ {
+					if id := sc.Engine.RandomLive(); id != sim.None {
+						sc.Engine.Kill(id)
+					}
+				}
+				sc.Reinject(total - sc.Engine.NumLive())
+			}
+			target := start.Add(budget * time.Duration(round+1) / time.Duration(end))
+			if d := time.Until(target); d > 0 {
+				time.Sleep(d)
+			}
+			return true
+		})
+	}()
+
+	tgt := loadgen.HTTPTarget{
+		Base: base,
+		Client: &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: workers,
+		}},
+		Pub: pub,
+	}
+	window := duration / 3
+	phases := []string{"calm", "catastrophe+recovery", "churn"}
+	results := make([]loadgen.Result, len(phases))
+	for i, name := range phases {
+		results[i] = loadgen.Run(tgt, loadgen.Options{
+			Seed: seed + uint64(i), Workers: workers, Duration: window, NeighborEvery: 4,
+		})
+		fmt.Fprintf(out, "phase %-21s %s\n", name+":", results[i].String())
+	}
+	close(stop)
+	<-driveDone
+	sc.StopServing()
+	svc.drain(out)
+
+	for i, name := range phases {
+		if results[i].Ops == 0 {
+			return fmt.Errorf("selftest: phase %s served zero queries", name)
+		}
+		if results[i].Errors > 0 {
+			return fmt.Errorf("selftest: phase %s hit %d errors", name, results[i].Errors)
+		}
+	}
+	fmt.Fprintf(out, "selftest ok: %d queries across %d phases, final round %d, %d live\n",
+		svc.front.Queries(), len(phases), sc.Engine.Round(), sc.Engine.NumLive())
+	return nil
+}

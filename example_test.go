@@ -6,6 +6,7 @@ import (
 	"slices"
 
 	"polystyrene"
+	"polystyrene/internal/shape"
 )
 
 // ExampleNewSystem shows the paper's headline behaviour: a torus overlay
@@ -105,4 +106,40 @@ func ExampleSystem_Lookup() {
 	owner := sys.Lookup([]float64{42})
 	fmt.Println("key 42 has an owner:", owner >= 0)
 	// Output: key 42 has an owner: true
+}
+
+// ExampleSystem_ServePublisher serves the profiles workload of
+// examples/profiles while rounds run: the publisher snapshots an
+// immutable epoch after every round, and queries answer from the epoch —
+// never touching (or blocking) the engine. cmd/polyserve wraps exactly
+// this wiring in an HTTP frontend.
+func ExampleSystem_ServePublisher() {
+	pts := shape.Profiles(16, 24, 4) // 4 interest communities, 16 users each
+	profiles := make([][]float64, len(pts))
+	for i, p := range pts {
+		profiles[i] = p
+	}
+	sys, err := polystyrene.NewSystem(polystyrene.SystemConfig{
+		Seed:              11,
+		Space:             polystyrene.Hamming(24),
+		Shape:             profiles,
+		ReplicationFactor: 6,
+	})
+	if err != nil {
+		panic(err)
+	}
+	pub := sys.ServePublisher(0)
+	sys.Run(20) // converge; each round publishes a fresh epoch
+
+	ep := pub.Current()
+	fmt.Println("epoch:", ep.Seq, "round:", ep.Round, "live:", ep.NumLive())
+	// Route to the node closest to community 1's interest core. A member
+	// profile is its community core plus one personal topic, so distance
+	// 1 means the lookup landed on a community member.
+	id, dist, _, ok := ep.Lookup(shape.ProfileCore(1, 24, 4))
+	fmt.Println("found:", ok, "node:", id, "distance:", dist)
+	pub.Close()
+	// Output:
+	// epoch: 21 round: 19 live: 64
+	// found: true node: 16 distance: 1
 }

@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"polystyrene"
+	"polystyrene/internal/shape"
 )
 
 const (
@@ -37,16 +38,10 @@ func main() {
 
 // communityProfile builds a profile for user u of community c: a shared
 // 6-topic community core plus a per-user variation topic, so members are
-// mutually close under Hamming distance but not identical.
+// mutually close under Hamming distance but not identical. The formula
+// lives in shape.Profile, shared with polyserve -profiles.
 func communityProfile(c, u int) []float64 {
-	p := make([]float64, topics)
-	for t := 0; t < 6; t++ {
-		p[c*6+t] = 1
-	}
-	// Flip one topic outside the core per user to individualise profiles.
-	other := (c*6 + 6 + u%18) % topics
-	p[other] = 1
-	return p
+	return shape.Profile(c, u, topics, communities)
 }
 
 // coverage reports, for each community, the distance from its canonical
@@ -74,17 +69,16 @@ func coverage(sys *polystyrene.System) []float64 {
 }
 
 func demo(out io.Writer, usersPerCommunity, rounds int) error {
-	shape := make([][]float64, 0, communities*usersPerCommunity)
-	for c := 0; c < communities; c++ {
-		for u := 0; u < usersPerCommunity; u++ {
-			shape = append(shape, communityProfile(c, u))
-		}
+	pts := shape.Profiles(usersPerCommunity, topics, communities)
+	profiles := make([][]float64, len(pts))
+	for i, p := range pts {
+		profiles[i] = p
 	}
 
 	sys, err := polystyrene.NewSystem(polystyrene.SystemConfig{
 		Seed:              11,
 		Space:             polystyrene.Hamming(topics),
-		Shape:             shape,
+		Shape:             profiles,
 		ReplicationFactor: 6,
 	})
 	if err != nil {

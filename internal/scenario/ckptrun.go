@@ -83,12 +83,26 @@ func RestoreLatest(sc *Scenario, mgr *ckpt.Manager) (ckpt.Generation, error) {
 // the schedule is insensitive to where a checkpoint interrupted it —
 // the library form of the CLI drive loop.
 func DrivePhases(sc *Scenario, ph Phases, to int) {
+	DrivePhasesFunc(sc, ph, to, nil)
+}
+
+// DrivePhasesFunc is DrivePhases with a per-round callback: atRound (if
+// non-nil) runs at the START of each round, before that round's phase
+// events fire — the checkpoint discipline (a checkpoint taken there
+// replays byte-identically, because the events re-fire on resume) and
+// the natural place for pacing or a shutdown check. Returning false
+// stops the drive before the round runs; the scenario is left at a
+// round boundary either way.
+func DrivePhasesFunc(sc *Scenario, ph Phases, to int, atRound func(round int) bool) {
 	if to > ph.End {
 		to = ph.End
 	}
 	total := sc.Cfg.W * sc.Cfg.H
 	for sc.Engine.Round() < to {
 		r := sc.Engine.Round()
+		if atRound != nil && !atRound(r) {
+			return
+		}
 		if r == ph.FailAt {
 			sc.FailRightHalf()
 		}

@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"polystyrene/internal/serve"
+	"polystyrene/internal/sim"
+	"polystyrene/internal/space"
+)
+
+// serveSrc adapts a Scenario to serve.Source, so phase-driven soaks
+// (cmd/polyserve) can publish epochs from the same engine DrivePhases
+// advances. All methods run on the round-driving goroutine while the
+// engine is quiescent.
+type serveSrc struct{ sc *Scenario }
+
+func (v serveSrc) Space() space.Space { return v.sc.Space }
+func (v serveSrc) Round() int         { return v.sc.Engine.Round() }
+func (v serveSrc) NumNodes() int      { return v.sc.Engine.NumNodes() }
+
+func (v serveSrc) AppendLive(dst []sim.NodeID) []sim.NodeID {
+	return v.sc.Engine.AppendLiveIDs(dst)
+}
+
+func (v serveSrc) Position(id sim.NodeID) space.Point { return v.sc.position(id) }
+
+func (v serveSrc) EachNeighbor(id sim.NodeID, k int, yield func(sim.NodeID) bool) {
+	v.sc.topo.EachNeighbor(id, k, yield)
+}
+
+func (v serveSrc) NumGuests(id sim.NodeID) int {
+	if v.sc.poly == nil {
+		return 0
+	}
+	return v.sc.poly.NumGuests(id)
+}
+
+func (v serveSrc) NumGhosts(id sim.NodeID) int {
+	if v.sc.poly == nil {
+		return 0
+	}
+	return v.sc.poly.NumGhosts(id)
+}
+
+func (v serveSrc) NumPoints() int {
+	if v.sc.poly == nil {
+		return 0
+	}
+	return v.sc.Interner.Len()
+}
+
+func (v serveSrc) EachGuestID(id sim.NodeID, fn func(pid space.PointID)) {
+	if v.sc.poly == nil {
+		return
+	}
+	v.sc.poly.GuestsFunc(id, func(_ space.Point, pid space.PointID) { fn(pid) })
+}
+
+// ServeSource returns the scenario's serve.Source adapter.
+func (sc *Scenario) ServeSource() serve.Source { return serveSrc{sc} }
+
+// ServePublisher creates a Publisher with the given router-view fanout
+// (<= 0 means serve.DefaultFanout), publishes an initial epoch, and
+// hooks the publisher to the engine's post-barrier publish point so
+// every round ends by swapping in a fresh epoch — the scenario twin of
+// polystyrene.System.ServePublisher. The engine has a single publish
+// hook; a second call replaces the first wiring.
+func (sc *Scenario) ServePublisher(fanout int) *serve.Publisher {
+	pub := serve.NewPublisher(fanout)
+	src := serveSrc{sc}
+	pub.Publish(src)
+	sc.Engine.SetPublishHook(func(*sim.Engine, int) { pub.Publish(src) })
+	return pub
+}
+
+// StopServing detaches the publish hook installed by ServePublisher.
+func (sc *Scenario) StopServing() { sc.Engine.SetPublishHook(nil) }

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"testing"
+
+	"polystyrene/internal/sim"
+	"polystyrene/internal/space"
+)
+
+// fakeSource is a hand-rolled Source over a 1-D Euclidean line: node i
+// (when live) sits at position float64(i), neighbours are the nearest
+// live nodes by index distance, and guest sets are assigned directly.
+type fakeSource struct {
+	spc    space.Space
+	round  int
+	n      int
+	live   []bool
+	guests map[sim.NodeID][]space.PointID
+	ghosts map[sim.NodeID]int
+	np     int
+	pos    []float64 // scratch reused across Position calls
+}
+
+func newFakeSource(n int) *fakeSource {
+	fs := &fakeSource{
+		spc:    space.NewEuclidean(1),
+		n:      n,
+		live:   make([]bool, n),
+		guests: map[sim.NodeID][]space.PointID{},
+		ghosts: map[sim.NodeID]int{},
+		pos:    make([]float64, 1),
+	}
+	for i := range fs.live {
+		fs.live[i] = true
+	}
+	return fs
+}
+
+func (fs *fakeSource) Space() space.Space { return fs.spc }
+func (fs *fakeSource) Round() int         { return fs.round }
+func (fs *fakeSource) NumNodes() int      { return fs.n }
+
+func (fs *fakeSource) AppendLive(dst []sim.NodeID) []sim.NodeID {
+	for i, ok := range fs.live {
+		if ok {
+			dst = append(dst, sim.NodeID(i))
+		}
+	}
+	return dst
+}
+
+func (fs *fakeSource) Position(id sim.NodeID) space.Point {
+	fs.pos[0] = float64(id)
+	return fs.pos
+}
+
+func (fs *fakeSource) EachNeighbor(id sim.NodeID, k int, yield func(sim.NodeID) bool) {
+	// Nearest live nodes by |index distance|, increasing.
+	for d := 1; d < fs.n && k > 0; d++ {
+		for _, nb := range [2]int{int(id) - d, int(id) + d} {
+			if nb >= 0 && nb < fs.n && fs.live[nb] && k > 0 {
+				if !yield(sim.NodeID(nb)) {
+					return
+				}
+				k--
+			}
+		}
+	}
+}
+
+func (fs *fakeSource) NumGuests(id sim.NodeID) int { return len(fs.guests[id]) }
+func (fs *fakeSource) NumGhosts(id sim.NodeID) int { return fs.ghosts[id] }
+func (fs *fakeSource) NumPoints() int              { return fs.np }
+
+func (fs *fakeSource) EachGuestID(id sim.NodeID, fn func(pid space.PointID)) {
+	for _, pid := range fs.guests[id] {
+		fn(pid)
+	}
+}
+
+func TestCaptureBasics(t *testing.T) {
+	fs := newFakeSource(10)
+	fs.live[3] = false
+	fs.round = 7
+	fs.np = 4
+	fs.guests[2] = []space.PointID{0, 1}
+	fs.guests[5] = []space.PointID{1, 2}
+	fs.ghosts[5] = 3
+
+	ep := Capture(fs, 4, 42)
+	if ep.Seq != 42 || ep.Round != 7 {
+		t.Fatalf("Seq/Round = %d/%d, want 42/7", ep.Seq, ep.Round)
+	}
+	if ep.NumLive() != 9 {
+		t.Fatalf("NumLive = %d, want 9", ep.NumLive())
+	}
+	if ep.Contains(3) {
+		t.Fatal("dead node 3 reported live")
+	}
+	if ep.Contains(-1) || ep.Contains(99) {
+		t.Fatal("out-of-range IDs reported live")
+	}
+	if _, ok := ep.Position(3); ok {
+		t.Fatal("Position(dead) ok")
+	}
+	pos, ok := ep.Position(5)
+	if !ok || pos[0] != 5 {
+		t.Fatalf("Position(5) = %v,%v", pos, ok)
+	}
+	// Neighbours of 2 skip dead 3: nearest live are 1, then the
+	// equidistant pair 0 and 4 (lower index first), then 5.
+	nbs, ok := ep.AppendNeighbors(nil, 2, 4)
+	if !ok {
+		t.Fatal("AppendNeighbors(2) not ok")
+	}
+	want := []sim.NodeID{1, 0, 4, 5}
+	if len(nbs) != len(want) {
+		t.Fatalf("neighbors(2) = %v, want %v", nbs, want)
+	}
+	for i := range want {
+		if nbs[i] != want[i] {
+			t.Fatalf("neighbors(2) = %v, want %v", nbs, want)
+		}
+	}
+	if g, _ := ep.NumGuests(5); g != 2 {
+		t.Fatalf("NumGuests(5) = %d, want 2", g)
+	}
+	if g, _ := ep.NumGhosts(5); g != 3 {
+		t.Fatalf("NumGhosts(5) = %d, want 3", g)
+	}
+	gids, _ := ep.AppendGuestIDs(nil, 2)
+	if len(gids) != 2 || gids[0] != 0 || gids[1] != 1 {
+		t.Fatalf("AppendGuestIDs(2) = %v", gids)
+	}
+	// Holders: pid 1 held by nodes 2 and 5; pid 3 orphaned; pid 99 unknown.
+	h := ep.AppendHolders(nil, 1)
+	if len(h) != 2 || h[0] != 2 || h[1] != 5 {
+		t.Fatalf("holders(1) = %v, want [2 5]", h)
+	}
+	if h := ep.AppendHolders(nil, 3); len(h) != 0 {
+		t.Fatalf("holders(orphan 3) = %v, want empty", h)
+	}
+	if h := ep.AppendHolders(nil, 99); len(h) != 0 {
+		t.Fatalf("holders(unknown 99) = %v, want empty", h)
+	}
+	if ep.HolderEntries() != 4 || ep.NumPoints() != 4 {
+		t.Fatalf("HolderEntries/NumPoints = %d/%d, want 4/4", ep.HolderEntries(), ep.NumPoints())
+	}
+}
+
+func TestEpochLookup(t *testing.T) {
+	fs := newFakeSource(64)
+	ep := Capture(fs, 0, 1)
+	if ep.K != DefaultFanout {
+		t.Fatalf("K = %d, want DefaultFanout", ep.K)
+	}
+	for _, q := range []float64{0, 17.4, 31.5, 63, 200} {
+		id, dist, _, ok := ep.Lookup([]float64{q})
+		if !ok {
+			t.Fatalf("Lookup(%v) not ok", q)
+		}
+		wantID := int(q + 0.5)
+		if q >= 31.4 && q <= 31.6 {
+			// Tie region: either neighbour acceptable.
+			if id != 31 && id != 32 {
+				t.Fatalf("Lookup(%v) = %d, want 31 or 32", q, id)
+			}
+			continue
+		}
+		if wantID > 63 {
+			wantID = 63
+		}
+		if int(id) != wantID {
+			t.Fatalf("Lookup(%v) = %d (dist %v), want %d", q, id, dist, wantID)
+		}
+	}
+}
+
+func TestEpochLookupEmptyAndMismatch(t *testing.T) {
+	fs := newFakeSource(8)
+	for i := range fs.live {
+		fs.live[i] = false
+	}
+	ep := Capture(fs, 4, 1)
+	if ep.NumLive() != 0 {
+		t.Fatalf("NumLive = %d, want 0", ep.NumLive())
+	}
+	id, dist, hops, ok := ep.Lookup([]float64{1})
+	if ok || id != sim.None || dist != 0 || hops != 0 {
+		t.Fatalf("empty Lookup = (%d,%v,%d,%v), want (None,0,0,false)", id, dist, hops, ok)
+	}
+	ep2 := Capture(newFakeSource(8), 4, 2)
+	if _, _, _, ok := ep2.Lookup([]float64{1, 2}); ok {
+		t.Fatal("dimension-mismatch Lookup reported ok")
+	}
+	if _, _, _, ok := ep2.Lookup(nil); ok {
+		t.Fatal("nil-query Lookup reported ok")
+	}
+}
+
+func TestEpochLookupAllocFree(t *testing.T) {
+	fs := newFakeSource(128)
+	ep := Capture(fs, 0, 1)
+	q := []float64{77.3}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, _, ok := ep.Lookup(q); !ok {
+			t.Fatal("lookup failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Epoch.Lookup allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestPublisherLifecycle(t *testing.T) {
+	fs := newFakeSource(8)
+	p := NewPublisher(4)
+	if p.Current() != nil {
+		t.Fatal("Current before first Publish should be nil (warming)")
+	}
+	ep1 := p.Publish(fs)
+	if ep1 == nil || ep1.Seq != 1 {
+		t.Fatalf("first Publish = %+v", ep1)
+	}
+	if p.Current() != ep1 {
+		t.Fatal("Current != just-published epoch")
+	}
+	fs.round = 1
+	ep2 := p.Publish(fs)
+	if ep2.Seq != 2 || ep2.Round != 1 {
+		t.Fatalf("second Publish Seq/Round = %d/%d", ep2.Seq, ep2.Round)
+	}
+	if p.Current() != ep2 {
+		t.Fatal("Current not advanced")
+	}
+	// ep1 stays queryable after being superseded: readers holding it
+	// finish unharmed.
+	if _, _, _, ok := ep1.Lookup([]float64{3}); !ok {
+		t.Fatal("superseded epoch no longer queryable")
+	}
+	p.Close()
+	if !p.Closed() || p.Current() != nil {
+		t.Fatal("Close did not drain Current")
+	}
+	if p.Publish(fs) != nil {
+		t.Fatal("Publish after Close should be a no-op")
+	}
+	p.Close() // idempotent
+}

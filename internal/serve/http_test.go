@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"polystyrene/internal/space"
+)
+
+func getJSON(t *testing.T, f *Frontend, url string, wantStatus int, into any) {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	f.ServeHTTP(rec, req)
+	if rec.Code != wantStatus {
+		t.Fatalf("GET %s = %d (%s), want %d", url, rec.Code, rec.Body.String(), wantStatus)
+	}
+	if into != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), into); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", url, rec.Body.String(), err)
+		}
+	}
+}
+
+func TestFrontendWarmingAndDraining(t *testing.T) {
+	p := NewPublisher(4)
+	f := NewFrontend(p)
+	var er errResponse
+	getJSON(t, f, "/lookup?q=1", 503, &er)
+	if er.State != "warming" {
+		t.Fatalf("pre-epoch state = %q, want warming", er.State)
+	}
+	getJSON(t, f, "/healthz", 503, &er)
+	if er.State != "warming" {
+		t.Fatalf("healthz state = %q, want warming", er.State)
+	}
+	p.Publish(newFakeSource(8))
+	getJSON(t, f, "/healthz", 200, nil)
+	p.Close()
+	getJSON(t, f, "/lookup?q=1", 503, &er)
+	if er.State != "draining" {
+		t.Fatalf("post-Close state = %q, want draining", er.State)
+	}
+	getJSON(t, f, "/healthz", 503, &er)
+	if er.State != "draining" {
+		t.Fatalf("post-Close healthz state = %q, want draining", er.State)
+	}
+}
+
+func TestFrontendEndpoints(t *testing.T) {
+	fs := newFakeSource(16)
+	fs.live[3] = false
+	fs.round = 5
+	fs.np = 3
+	fs.guests[2] = []space.PointID{0, 1}
+	fs.guests[7] = []space.PointID{1}
+	fs.ghosts[7] = 2
+	p := NewPublisher(4)
+	f := NewFrontend(p)
+	p.Publish(fs)
+
+	var lr lookupResponse
+	getJSON(t, f, "/lookup?q=6.8", 200, &lr)
+	if !lr.Found || lr.Node != 7 || lr.Epoch != 1 || lr.Round != 5 {
+		t.Fatalf("lookup = %+v, want node 7 @ epoch 1 round 5", lr)
+	}
+
+	var nr neighborsResponse
+	getJSON(t, f, "/neighbors?id=2&k=3", 200, &nr)
+	if nr.ID != 2 || len(nr.Neighbors) != 3 || nr.Neighbors[0] != 1 {
+		t.Fatalf("neighbors = %+v", nr)
+	}
+	if nr.Epoch != 1 || nr.Round != 5 {
+		t.Fatalf("neighbors missing epoch stamp: %+v", nr)
+	}
+
+	var node nodeResponse
+	getJSON(t, f, "/node/7", 200, &node)
+	if node.Guests != 1 || node.Ghosts != 2 || node.Position[0] != 7 {
+		t.Fatalf("node = %+v", node)
+	}
+	if len(node.GuestIDs) != 1 || node.GuestIDs[0] != 1 {
+		t.Fatalf("node guest IDs = %v, want [1]", node.GuestIDs)
+	}
+
+	var st statsResponse
+	getJSON(t, f, "/stats", 200, &st)
+	if st.Live != 15 || st.Points != 3 || st.HolderEntries != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Queries != 3 {
+		t.Fatalf("stats queries = %d, want 3", st.Queries)
+	}
+	if f.Queries() != 3 {
+		t.Fatalf("Queries() = %d, want 3", f.Queries())
+	}
+}
+
+func TestFrontendBadInput(t *testing.T) {
+	p := NewPublisher(4)
+	f := NewFrontend(p)
+	p.Publish(newFakeSource(8))
+
+	getJSON(t, f, "/lookup", 400, nil)           // missing q
+	getJSON(t, f, "/lookup?q=abc", 400, nil)     // unparsable
+	getJSON(t, f, "/lookup?q=1,2", 400, nil)     // wrong dimension
+	getJSON(t, f, "/neighbors?id=zap", 400, nil) // bad id
+	getJSON(t, f, "/neighbors?id=1&k=-2", 400, nil)
+	getJSON(t, f, "/neighbors?id=99", 404, nil) // unknown node
+	getJSON(t, f, "/node/99", 404, nil)
+	getJSON(t, f, "/node/banana", 400, nil)
+	if f.Queries() != 0 {
+		t.Fatalf("failed requests counted as queries: %d", f.Queries())
+	}
+}
+
+func TestFrontendLookupOnEmptyEpoch(t *testing.T) {
+	fs := newFakeSource(8)
+	for i := range fs.live {
+		fs.live[i] = false
+	}
+	p := NewPublisher(4)
+	f := NewFrontend(p)
+	p.Publish(fs)
+	var lr lookupResponse
+	getJSON(t, f, "/lookup?q=1", 200, &lr)
+	if lr.Found || lr.Node != -1 {
+		t.Fatalf("empty-epoch lookup = %+v, want found=false node=-1", lr)
+	}
+}

@@ -1,0 +1,62 @@
+package serve
+
+import "sync/atomic"
+
+// Publisher is the single-writer, many-reader handoff point between the
+// round loop and the serving surface. The round-driving goroutine calls
+// Publish once per round (from the engine's post-barrier publish hook);
+// any number of reader goroutines call Current and query the returned
+// epoch. The swap is one atomic pointer store, so readers never take a
+// lock the loop can hold and the loop never waits for a reader;
+// superseded epochs are garbage-collected once the last reader drops
+// them.
+type Publisher struct {
+	k int
+	// seq is only touched by the publishing goroutine; readers see it
+	// through the epochs it stamps.
+	seq    uint64
+	cur    atomic.Pointer[Epoch]
+	closed atomic.Bool
+}
+
+// NewPublisher returns a publisher whose epochs capture a k-wide router
+// view (<= 0 means DefaultFanout). No epoch is current until the first
+// Publish; Current returns nil and the frontend answers 503 "warming".
+func NewPublisher(k int) *Publisher {
+	if k <= 0 {
+		k = DefaultFanout
+	}
+	return &Publisher{k: k}
+}
+
+// Publish captures a fresh epoch from src and makes it current,
+// returning it. It must only be called from the round-driving goroutine
+// (single writer); after Close it is a no-op returning nil.
+func (p *Publisher) Publish(src Source) *Epoch {
+	if p.closed.Load() {
+		return nil
+	}
+	p.seq++
+	ep := Capture(src, p.k, p.seq)
+	p.cur.Store(ep)
+	return ep
+}
+
+// Current returns the most recently published epoch, nil before the
+// first Publish (warming) and nil again after Close (draining) — use
+// Closed to tell the two apart. Safe from any goroutine.
+func (p *Publisher) Current() *Epoch {
+	if p.closed.Load() {
+		return nil
+	}
+	return p.cur.Load()
+}
+
+// Closed reports whether Close has been called.
+func (p *Publisher) Closed() bool { return p.closed.Load() }
+
+// Close starts the drain: Current returns nil, Publish becomes a no-op,
+// and the frontend answers 503 "draining". Idempotent, safe from any
+// goroutine; it does not wait for in-flight readers (they hold their own
+// epoch pointers and finish unharmed).
+func (p *Publisher) Close() { p.closed.Store(true) }

@@ -117,6 +117,54 @@ func UniformTorus(n int, t space.Torus, rng *xrand.Rand) []space.Point {
 	return out
 }
 
+// Profile builds the interest profile of user u of community c (for a
+// space of `topics` 0/1 topics split among `communities`): the
+// community's shared topic core — topics/communities consecutive topics
+// — plus one per-user variation topic outside the core, so community
+// members are mutually close under Hamming distance but not identical.
+// This is the semantic-overlay shape of decentralized recommendation
+// (Gossple, WhatsUp; the paper's Sec. II-B), and the profile formula of
+// examples/profiles and polyserve -profiles.
+func Profile(c, u, topics, communities int) space.Point {
+	core := topics / communities
+	p := make(space.Point, topics)
+	for t := 0; t < core; t++ {
+		p[c*core+t] = 1
+	}
+	p[(c*core+core+u%(topics-core))%topics] = 1
+	return p
+}
+
+// ProfileCore returns community c's canonical core profile (the shared
+// topics only) — the query point for "how reachable is this interest
+// region in the overlay".
+func ProfileCore(c, topics, communities int) space.Point {
+	core := topics / communities
+	p := make(space.Point, topics)
+	for t := 0; t < core; t++ {
+		p[c*core+t] = 1
+	}
+	return p
+}
+
+// Profiles returns the full profile shape: usersPerCommunity Profile
+// vectors for each of the communities, community-by-community (node i
+// is user i%usersPerCommunity of community i/usersPerCommunity). It
+// lives on Hamming(topics). Degenerate parameters (no users, no
+// communities, fewer topics than communities) return nil.
+func Profiles(usersPerCommunity, topics, communities int) []space.Point {
+	if usersPerCommunity <= 0 || communities <= 0 || topics <= communities {
+		return nil
+	}
+	out := make([]space.Point, 0, communities*usersPerCommunity)
+	for c := 0; c < communities; c++ {
+		for u := 0; u < usersPerCommunity; u++ {
+			out = append(out, Profile(c, u, topics, communities))
+		}
+	}
+	return out
+}
+
 // BoundingTorus returns a torus just enclosing the points' coordinate
 // ranges (with the given margin per dimension), convenient for wrapping an
 // arbitrary 2D shape into a modular space.

@@ -90,6 +90,9 @@ type Engine struct {
 
 	events    map[int][]Event
 	observers []Observer
+	// publish is the post-barrier publish hook (see SetPublishHook); nil
+	// when no serving surface is attached.
+	publish func(e *Engine, round int)
 
 	meter *Meter
 	// curLayer is the meter ledger index costs are attributed to; -1 means
@@ -160,6 +163,7 @@ func (e *Engine) Reset(seed uint64, layers ...Protocol) {
 	e.round = 0
 	clear(e.events)
 	e.observers = e.observers[:0]
+	e.publish = nil
 	e.meter.reset()
 	e.curLayer = -1
 	e.layerLedger = e.layerLedger[:0]
@@ -290,6 +294,18 @@ func (e *Engine) Observe(o Observer) {
 	e.observers = append(e.observers, o)
 }
 
+// SetPublishHook registers fn as the engine's post-barrier publish point:
+// it runs exactly once at the very end of every round — after all layers
+// have stepped (every batched pass has flushed its deferred work) and
+// after every observer has run — with the index of the round that just
+// completed. This is where a serving surface copies the engine's read
+// state into an immutable epoch and swaps it in for concurrent readers:
+// the hook runs on the round-driving goroutine, so it sees a quiescent,
+// fully-flushed engine, and nothing the readers do can block the loop.
+// One hook is supported; fn == nil clears it. Reset also clears it (the
+// hook is run wiring, not engine state).
+func (e *Engine) SetPublishHook(fn func(e *Engine, round int)) { e.publish = fn }
+
 // Meter returns the engine's communication cost meter.
 func (e *Engine) Meter() *Meter { return e.meter }
 
@@ -355,6 +371,9 @@ func (e *Engine) runOne() {
 
 	for _, o := range e.observers {
 		o(e, e.round)
+	}
+	if e.publish != nil {
+		e.publish(e, e.round)
 	}
 	e.round++
 }

@@ -417,11 +417,16 @@ const lookupProbes = 8
 // neighbours improves on it. On a converged shape that is the global
 // nearest node; if the descent fails to terminate within its hop budget
 // (a transiently broken overlay), Lookup falls back to the exact
-// full-scan answer of LookupExact. It returns -1 when the system is
-// empty.
+// full-scan answer of LookupExact.
+//
+// Lookup never panics on degenerate input: when the live set is empty
+// (every node crashed — CrashRegion over the whole space) or the query's
+// dimension does not match the system's space, it returns the -1
+// sentinel, the same "no node" answer LookupExact gives. Callers must
+// treat -1 as "nothing to route to", not as a node ID.
 func (s *System) Lookup(query []float64) int {
 	live := s.engine.LiveIDs()
-	if len(live) == 0 {
+	if len(live) == 0 || len(query) != s.space.Dim() {
 		return -1
 	}
 	q := space.Point(query)
@@ -445,9 +450,13 @@ func (s *System) Lookup(query []float64) int {
 
 // LookupExact returns the live node whose position is globally closest to
 // the query point, by scanning the whole live set — the O(live) oracle
-// Lookup approximates (and falls back to). It returns -1 when the system
-// is empty.
+// Lookup approximates (and falls back to). Like Lookup it returns the -1
+// sentinel, never panicking, when the system is empty or the query's
+// dimension does not match the space.
 func (s *System) LookupExact(query []float64) int {
+	if len(query) != s.space.Dim() {
+		return -1
+	}
 	best, bestD := -1, 0.0
 	q := space.Point(query)
 	for _, id := range s.engine.LiveIDs() {

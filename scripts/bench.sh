@@ -10,26 +10,32 @@
 # 51,200-node BenchmarkSnapshotRestore checkpoint/restore round trip,
 # and, from BENCH_7 on, the 51,200-node BenchmarkAutoCheckpoint
 # durable-checkpoint tax (per-round cost at cadences 0/1/16 of writing
-# atomic fsynced generations), and converts the `go test -json` stream
-# into a stable JSON document via scripts/benchjson.
+# atomic fsynced generations), and, from BENCH_8 on, the serving-surface
+# benches — BenchmarkEpochPublish (copy-on-publish cost per round),
+# BenchmarkServeLookup (the allocation-free epoch read path) and
+# BenchmarkServePhases (sustained QPS and p50/p99 lookup latency over
+# real loopback HTTP while the overlay rides calm, catastrophe-recovery
+# and sustained-churn phase scripts) — and converts the `go test -json`
+# stream into a stable JSON document via scripts/benchjson.
 #
-# It then gates the steady-state gossip hot path: one warmed
-# BenchmarkGossipRound per overlay package (rps, tman, vicinity) must
-# report 0 allocs/op, or the script fails. The iteration count matters —
-# early iterations still grow pooled buffers, so a warm run is what the
-# 0-allocs contract is defined over.
+# It then gates two alloc contracts: one warmed BenchmarkGossipRound per
+# overlay package (rps, tman, vicinity) must report 0 allocs/op, and the
+# epoch lookup read path (BenchmarkServeLookup) must too, or the script
+# fails. The iteration count matters — early iterations still grow
+# pooled buffers, so a warm run is what the 0-allocs contract is
+# defined over.
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_7.json}"
+out="${1:-BENCH_8.json}"
 benchtime="${2:-5x}"
 
 go test -json -run '^$' \
-  -bench 'BenchmarkMigrateRound|BenchmarkMetricsRound|BenchmarkProximityRound|BenchmarkNeighborsQuery|BenchmarkFig10aScalability|BenchmarkParallelRound|BenchmarkSnapshotRestore|BenchmarkAutoCheckpoint' \
+  -bench 'BenchmarkMigrateRound|BenchmarkMetricsRound|BenchmarkProximityRound|BenchmarkNeighborsQuery|BenchmarkFig10aScalability|BenchmarkParallelRound|BenchmarkSnapshotRestore|BenchmarkAutoCheckpoint|BenchmarkEpochPublish|BenchmarkServeLookup|BenchmarkServePhases' \
   -benchmem -benchtime "$benchtime" -timeout 60m \
-  . ./internal/core/ ./internal/scenario/ ./internal/tman/ |
+  . ./internal/core/ ./internal/scenario/ ./internal/serve/ ./internal/tman/ |
   go run ./scripts/benchjson > "$out"
 
 echo "wrote $out ($(grep -c '"name"' "$out") benchmark records)" >&2
@@ -52,3 +58,20 @@ go test -run '^$' -bench 'BenchmarkGossipRound' -benchmem -benchtime 300x \
       if (seen != 3) { printf "FAIL: expected 3 gossip bench results, parsed %d\n", seen > "/dev/stderr"; exit 1 }
     }' >&2
 echo "gossip alloc gate passed" >&2
+
+echo "gating epoch lookup read path at 0 allocs/op..." >&2
+go test -run '^$' -bench 'BenchmarkServeLookup$' -benchmem -benchtime 300x \
+  ./internal/serve/ |
+  awk '
+    /allocs\/op/ {
+      seen++
+      print "  " $0
+      for (i = 1; i <= NF; i++) {
+        if ($i == "allocs/op" && $(i-1) + 0 > 0) bad = 1
+      }
+    }
+    END {
+      if (bad) { print "FAIL: epoch lookup allocates" > "/dev/stderr"; exit 1 }
+      if (seen != 1) { printf "FAIL: expected 1 serve lookup bench result, parsed %d\n", seen > "/dev/stderr"; exit 1 }
+    }' >&2
+echo "serve lookup alloc gate passed" >&2
