@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"polystyrene/internal/scenario"
+)
+
+const smokeSpec = "../../scripts/paper/smoke.json"
+
+func parseValid(t *testing.T, src string) *Spec {
+	t.Helper()
+	spec, err := Parse([]byte(src), ".")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return spec
+}
+
+func TestParseRejects(t *testing.T) {
+	valid := `{
+		"name": "x", "seed": 1, "rounds": 20,
+		"scenarios": [{"name": "paper", "fail_at": 5, "rejoin_at": 10}],
+		"sizes": [[16, 8]]
+	}`
+	parseValid(t, valid) // baseline must parse
+
+	cases := []struct{ name, src, want string }{
+		{"unknown top-level key", `{"name":"x","rounds":20,"scenarioz":[],"sizes":[[16,8]]}`, "unknown field"},
+		{"unknown scenario key", `{"name":"x","rounds":20,"scenarios":[{"name":"paper","fail_att":5}],"sizes":[[16,8]]}`, "unknown field"},
+		{"no name", `{"rounds":20,"scenarios":[{"name":"paper"}],"sizes":[[16,8]]}`, "needs a name"},
+		{"no scenarios", `{"name":"x","rounds":20,"scenarios":[],"sizes":[[16,8]]}`, "no scenarios"},
+		{"no sizes", `{"name":"x","rounds":20,"scenarios":[{"name":"paper"}],"sizes":[]}`, "no sizes"},
+		{"tiny size", `{"name":"x","rounds":20,"scenarios":[{"name":"paper"}],"sizes":[[1,8]]}`, "too small"},
+		{"bad k", `{"name":"x","rounds":20,"scenarios":[{"name":"paper"}],"sizes":[[16,8]],"ks":[0]}`, "replication factor"},
+		{"bad detector", `{"name":"x","rounds":20,"scenarios":[{"name":"paper"}],"sizes":[[16,8]],"detectors":["psychic"]}`, "unknown detector"},
+		{"bad delayed", `{"name":"x","rounds":20,"scenarios":[{"name":"paper"}],"sizes":[[16,8]],"detectors":["delayed:0"]}`, "delayed:N"},
+		{"negative exchange", `{"name":"x","rounds":20,"scenarios":[{"name":"paper"}],"sizes":[[16,8]],"exchange_parallelism":[-1]}`, "exchange parallelism"},
+		{"unknown scenario name", `{"name":"x","rounds":20,"scenarios":[{"name":"meteor"}],"sizes":[[16,8]]}`, "unknown scenario"},
+		{"duplicate label", `{"name":"x","rounds":120,"scenarios":[{"name":"paper"},{"name":"paper"}],"sizes":[[16,8]]}`, "duplicate scenario label"},
+		{"field of wrong scenario", `{"name":"x","rounds":20,"scenarios":[{"name":"paper","rate":0.1}],"sizes":[[16,8]]}`, "does not take"},
+		{"churn without rate", `{"name":"x","rounds":20,"scenarios":[{"name":"churn"}],"sizes":[[16,8]]}`, "churn rate"},
+		{"churn rate 1", `{"name":"x","rounds":20,"scenarios":[{"name":"churn","rate":1.0}],"sizes":[[16,8]]}`, "churn rate"},
+		{"no horizon", `{"name":"x","scenarios":[{"name":"churn","rate":0.1}],"sizes":[[16,8]]}`, "horizon"},
+		{"flash crowd event order", `{"name":"x","rounds":20,"scenarios":[{"name":"flash-crowd","fail_at":15,"rejoin_at":5}],"sizes":[[16,8]]}`, "fail_at"},
+		{"rolling partition overflow", `{"name":"x","rounds":20,"scenarios":[{"name":"rolling-partition","fail_at":15,"bands":4,"stride":3}],"sizes":[[16,8]]}`, "horizon"},
+		{"rack failure late rejoin", `{"name":"x","rounds":20,"scenarios":[{"name":"rack-failure","fail_at":5,"rejoin_at":25}],"sizes":[[16,8]]}`, "horizon"},
+		{"weibull bad shape", `{"name":"x","rounds":20,"scenarios":[{"name":"weibull","shape":-1}],"sizes":[[16,8]]}`, "shape"},
+		{"trace without path", `{"name":"x","rounds":20,"scenarios":[{"name":"trace"}],"sizes":[[16,8]]}`, "trace path"},
+		{"paper invalid phases", `{"name":"x","rounds":20,"scenarios":[{"name":"paper","fail_at":30,"rejoin_at":40}],"sizes":[[16,8]]}`, "paper"},
+	}
+	for _, tc := range cases {
+		_, err := Parse([]byte(tc.src), ".")
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseRejectsMismatchedTrace(t *testing.T) {
+	dir := t.TempDir()
+	// A trace sized for 64 nodes, offered to a 16x8 (128-node) grid.
+	if err := os.WriteFile(dir+"/small.csv",
+		[]byte("# polystyrene-schedule v1 initial=64\nround,op,node\n3,leave,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `{"name":"x","rounds":20,"scenarios":[{"name":"trace","trace":"small.csv"}],"sizes":[[16,8]]}`
+	_, err := Parse([]byte(src), dir)
+	if err == nil || !strings.Contains(err.Error(), "initial population 64") {
+		t.Fatalf("mismatched trace accepted (err=%v)", err)
+	}
+	// Matching population parses.
+	if err := os.WriteFile(dir+"/ok.csv",
+		[]byte("# polystyrene-schedule v1 initial=128\nround,op,node\n3,leave,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src = `{"name":"x","rounds":20,"scenarios":[{"name":"trace","trace":"ok.csv"}],"sizes":[[16,8]]}`
+	if _, err := Parse([]byte(src), dir); err != nil {
+		t.Fatalf("matching trace rejected: %v", err)
+	}
+}
+
+func TestExpandSeedDerivation(t *testing.T) {
+	spec := parseValid(t, `{
+		"name": "x", "seed": 9, "rounds": 20, "repeats": 2,
+		"scenarios": [
+			{"name": "churn", "rate": 0.05},
+			{"name": "flash-crowd"}
+		],
+		"sizes": [[16, 8], [16, 16]],
+		"ks": [2, 4],
+		"detectors": ["perfect", "delayed:2"],
+		"exchange_parallelism": [0, 1, 2]
+	}`)
+	cells := spec.Expand()
+	if want := 2 * 2 * 2 * 2 * 3 * 2; len(cells) != want {
+		t.Fatalf("expanded %d cells, want %d", len(cells), want)
+	}
+	seen := make(map[string]bool, len(cells))
+	type axes struct {
+		label   string
+		w, h, k int
+		det     string
+		rep     int
+	}
+	engineSeeds := make(map[axes]uint64)
+	type schedAxes struct {
+		label string
+		w, h  int
+		rep   int
+	}
+	schedSeeds := make(map[schedAxes]uint64)
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d carries index %d", i, c.Index)
+		}
+		if seen[c.ID()] {
+			t.Fatalf("duplicate cell id %s", c.ID())
+		}
+		seen[c.ID()] = true
+		// The engine seed must not depend on exchange parallelism...
+		ka := axes{c.Scenario.Label, c.W, c.H, c.K, c.Detector, c.Rep}
+		if prev, ok := engineSeeds[ka]; ok {
+			if prev != c.Seed {
+				t.Errorf("%s: seed varies with exchange parallelism", c.ID())
+			}
+		} else {
+			engineSeeds[ka] = c.Seed
+		}
+		// ...and the schedule seed only on (scenario, size, rep).
+		sa := schedAxes{c.Scenario.Label, c.W, c.H, c.Rep}
+		if prev, ok := schedSeeds[sa]; ok {
+			if prev != c.ScheduleSeed {
+				t.Errorf("%s: schedule seed varies with k/detector/exchange", c.ID())
+			}
+		} else {
+			schedSeeds[sa] = c.ScheduleSeed
+		}
+	}
+	// Distinct axes must get distinct engine seeds.
+	distinct := make(map[uint64]axes)
+	for ka, s := range engineSeeds {
+		if prev, dup := distinct[s]; dup {
+			t.Fatalf("axes %+v and %+v share seed %016x", prev, ka, s)
+		}
+		distinct[s] = ka
+	}
+	// Expansion is stable: a second expansion is identical.
+	again := spec.Expand()
+	for i := range cells {
+		if cells[i].ID() != again[i].ID() || cells[i].Seed != again[i].Seed {
+			t.Fatalf("expansion unstable at cell %d", i)
+		}
+	}
+}
+
+func TestDryRunGolden(t *testing.T) {
+	spec, _, err := ParseFile(smokeSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGrid(&buf, spec, spec.Expand()); err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("../../scripts/paper/testdata/smoke_grid.golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Errorf("-dry-run expansion diverged from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), golden)
+	}
+}
+
+func TestAuditDeterminism(t *testing.T) {
+	mk := func(label string, w int, fp uint64) CellResult {
+		return CellResult{
+			Cell:        Cell{Scenario: ScenarioSpec{Label: label}, W: 16, H: 8, K: 2, Detector: "perfect", Exchange: w},
+			Fingerprint: fp,
+		}
+	}
+	// w=1 and w=2 agree; w=0 differs and is legitimately its own group.
+	ok := []CellResult{mk("a", 0, 111), mk("a", 1, 222), mk("a", 2, 222)}
+	groups, err := AuditDeterminism(ok)
+	if err != nil || groups != 1 {
+		t.Fatalf("audit = (%d, %v), want (1, nil)", groups, err)
+	}
+	bad := []CellResult{mk("a", 1, 222), mk("a", 2, 333)}
+	if _, err := AuditDeterminism(bad); err == nil {
+		t.Fatal("divergent batched cells must fail the audit")
+	}
+}
+
+func TestGridCSVRoundTrip(t *testing.T) {
+	results := []CellResult{
+		{
+			Cell: Cell{
+				Scenario: ScenarioSpec{Name: "churn", Label: "churn"},
+				W:        16, H: 8, K: 2, Detector: "delayed:2", Exchange: 1, Rep: 3,
+				Seed: 0xdeadbeef, ScheduleSeed: 0xfeed, Rounds: 24,
+			},
+			FinalHomogeneity: 0.125, ReferenceH: 0.5, ShapeHeld: true,
+			ReliabilityPct: 98.4375, Fingerprint: 0xabc123,
+		},
+	}
+	// Write through the real writer, read back, compare the round trip.
+	dir := t.TempDir()
+	results[0].Series = &scenario.Result{}
+	if err := WriteResults(dir, []byte("{}"), results); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(dir + "/grid.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	back, err := ReadGridCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("read %d rows, want 1", len(back))
+	}
+	got, want := back[0], results[0]
+	if got.Cell.ID() != want.Cell.ID() ||
+		got.Cell.Seed != want.Cell.Seed ||
+		got.Cell.ScheduleSeed != want.Cell.ScheduleSeed ||
+		got.FinalHomogeneity != want.FinalHomogeneity ||
+		got.ReferenceH != want.ReferenceH ||
+		got.ShapeHeld != want.ShapeHeld ||
+		got.ReliabilityPct != want.ReliabilityPct ||
+		got.Fingerprint != want.Fingerprint {
+		t.Errorf("grid.csv round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadGridCSVRejects(t *testing.T) {
+	if _, err := ReadGridCSV(strings.NewReader("")); err == nil {
+		t.Error("empty grid.csv accepted")
+	}
+	if _, err := ReadGridCSV(strings.NewReader("nope\n")); err == nil {
+		t.Error("wrong header accepted")
+	}
+	if _, err := ReadGridCSV(strings.NewReader(gridHeader + "\na,b\n")); err == nil {
+		t.Error("short row accepted")
+	}
+	if _, err := ReadGridCSV(strings.NewReader(gridHeader + "\n" + strings.Repeat("x,", 15) + "x\n")); err == nil {
+		t.Error("non-numeric row accepted")
+	}
+}
+
+// TestSmokeGridEndToEnd runs the CI smoke spec in-process and checks the
+// analyzer output against the same golden run_all.sh --smoke diffs —
+// the grid pipeline's full-stack test.
+func TestSmokeGridEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full smoke grid run")
+	}
+	spec, specData, err := ParseFile(smokeSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Run(spec, RunOpts{PoolEngines: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AuditDeterminism(results); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir() + "/smoke-smoke"
+	if err := WriteResults(dir, specData, results); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(dir + "/tables.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("../../scripts/paper/testdata/smoke_tables.golden.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, golden) {
+		t.Errorf("smoke tables.md diverged from golden:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}

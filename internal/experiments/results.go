@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"polystyrene/internal/scenario"
+	"polystyrene/internal/trace"
+)
+
+// Results-folder layout. One grid run writes <out>/<name>-<stamp>/ with:
+//
+//	experiments.json   the spec, byte-for-byte as given (provenance)
+//	grid.csv           one row per cell: identity, seed and final summary
+//	cells/<id>.csv     the cell's per-round series (trace.Table CSV)
+//	aggregate.csv      repetitions folded: mean and CI95 per grid point
+//	tables.md          paper-ready markdown tables + determinism audit
+//
+// grid.csv is the analyzer's input: Analyze(dir) regenerates
+// aggregate.csv and tables.md from it alone, so a results folder stays
+// re-analyzable long after the run.
+
+const gridHeader = "cell,scenario,w,h,k,detector,exchange,rep,seed,schedule_seed,rounds,final_homogeneity,reference_h,shape_held,reliability_pct,fingerprint"
+
+// WriteResults lays down a results folder for one executed grid:
+// the spec copy, grid.csv and the per-cell series CSVs, then runs the
+// analyzer over it (aggregate.csv, tables.md).
+func WriteResults(dir string, specData []byte, results []CellResult) error {
+	if err := os.MkdirAll(dir+"/cells", 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(dir+"/experiments.json", specData, 0o644); err != nil {
+		return err
+	}
+	g, err := os.Create(dir + "/grid.csv")
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(g)
+	fmt.Fprintln(bw, gridHeader)
+	for _, r := range results {
+		c := r.Cell
+		held := 0
+		if r.ShapeHeld {
+			held = 1
+		}
+		fmt.Fprintf(bw, "%s,%s,%d,%d,%d,%s,%d,%d,%016x,%016x,%d,%s,%s,%d,%s,%016x\n",
+			c.ID(), c.Scenario.Label, c.W, c.H, c.K, c.Detector, c.Exchange, c.Rep,
+			c.Seed, c.ScheduleSeed, c.Rounds,
+			ftoa(r.FinalHomogeneity), ftoa(r.ReferenceH), held, ftoa(r.ReliabilityPct), r.Fingerprint)
+	}
+	if err := bw.Flush(); err != nil {
+		g.Close()
+		return err
+	}
+	if err := g.Close(); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if err := writeCellCSV(dir+"/cells/"+r.Cell.ID()+".csv", r.Series); err != nil {
+			return err
+		}
+	}
+	return Analyze(dir)
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// writeCellCSV emits the per-round series through the shared table
+// writer, so cell CSVs read back with trace.ReadCSV like every other
+// trace in the repo.
+func writeCellCSV(path string, res *scenario.Result) error {
+	t := trace.NewTable()
+	n := len(res.LiveNodes)
+	round := make([]float64, n)
+	live := make([]float64, n)
+	for i := 0; i < n; i++ {
+		round[i] = float64(i)
+		live[i] = float64(res.LiveNodes[i])
+	}
+	cols := []struct {
+		name string
+		vals []float64
+	}{
+		{"round", round},
+		{"live", live},
+		{"homogeneity", res.Homogeneity},
+		{"proximity", res.Proximity},
+		{"datapoints_per_node", res.DataPoints},
+		{"msgcost_per_node", res.MsgCost},
+	}
+	for _, c := range cols {
+		if err := t.AddColumn(c.name, c.vals); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadGridCSV parses grid.csv back into summary-only CellResults (Series
+// is nil) — everything the analyzer and the determinism audit need.
+func ReadGridCSV(r io.Reader) ([]CellResult, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("experiments: empty grid.csv")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != gridHeader {
+		return nil, fmt.Errorf("experiments: grid.csv header mismatch:\n  got  %s\n  want %s", got, gridHeader)
+	}
+	var out []CellResult
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		f := strings.Split(text, ",")
+		if len(f) != 16 {
+			return nil, fmt.Errorf("experiments: grid.csv line %d has %d fields, want 16", line, len(f))
+		}
+		var r CellResult
+		var err error
+		atoi := func(s string) int {
+			if err != nil {
+				return 0
+			}
+			var v int
+			v, err = strconv.Atoi(s)
+			return v
+		}
+		atof := func(s string) float64 {
+			if err != nil {
+				return 0
+			}
+			var v float64
+			v, err = strconv.ParseFloat(s, 64)
+			return v
+		}
+		hexu := func(s string) uint64 {
+			if err != nil {
+				return 0
+			}
+			var v uint64
+			v, err = strconv.ParseUint(s, 16, 64)
+			return v
+		}
+		r.Cell = Cell{
+			Index:        len(out),
+			Scenario:     ScenarioSpec{Name: f[1], Label: f[1]},
+			W:            atoi(f[2]),
+			H:            atoi(f[3]),
+			K:            atoi(f[4]),
+			Detector:     f[5],
+			Exchange:     atoi(f[6]),
+			Rep:          atoi(f[7]),
+			Seed:         hexu(f[8]),
+			ScheduleSeed: hexu(f[9]),
+			Rounds:       atoi(f[10]),
+		}
+		r.FinalHomogeneity = atof(f[11])
+		r.ReferenceH = atof(f[12])
+		r.ShapeHeld = atoi(f[13]) != 0
+		r.ReliabilityPct = atof(f[14])
+		r.Fingerprint = hexu(f[15])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: grid.csv line %d: %w", line, err)
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

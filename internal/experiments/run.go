@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"polystyrene/internal/failures"
+	"polystyrene/internal/runner"
+	"polystyrene/internal/scenario"
+	"polystyrene/internal/shape"
+	"polystyrene/internal/trace"
+)
+
+// CellResult is the measured outcome of one grid cell: the final-state
+// summary columns of grid.csv plus the full per-round series (the cell
+// CSV) and a fingerprint of that series for determinism audits.
+type CellResult struct {
+	Cell Cell
+	// FinalHomogeneity and ReferenceH are h and H after the last round;
+	// ShapeHeld reports h < H (the shape survived, Sec. IV-A criterion).
+	FinalHomogeneity float64
+	ReferenceH       float64
+	ShapeHeld        bool
+	// ReliabilityPct is the surviving fraction of original data points,
+	// in percent (Table II measure).
+	ReliabilityPct float64
+	// Fingerprint hashes the entire per-round series (FNV-1a over the
+	// raw float bits plus the live-node trace); two cells ran the same
+	// trajectory iff their fingerprints match.
+	Fingerprint uint64
+	// Series is the per-round metric record.
+	Series *scenario.Result
+}
+
+// Fingerprint digests a per-round metric record with FNV-1a over the
+// float bit patterns and live counts: byte-identical trajectories — and
+// only those — collide. This is the identity the grid's exchange axis is
+// audited against.
+func Fingerprint(r *scenario.Result) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	for _, col := range [][]float64{r.Homogeneity, r.Proximity, r.DataPoints, r.MsgCost} {
+		mix(uint64(len(col)))
+		for _, v := range col {
+			mix(math.Float64bits(v))
+		}
+	}
+	mix(uint64(len(r.LiveNodes)))
+	for _, v := range r.LiveNodes {
+		mix(uint64(v))
+	}
+	return h
+}
+
+// BuildSchedule materializes the cell's availability schedule, nil for
+// the scripted-phases "paper" scenario. The schedule is a pure function
+// of (scenario spec, grid size, ScheduleSeed) — deliberately independent
+// of K, detector and exchange parallelism, so every protocol variant in
+// one (size, rep) slice faces the exact same trace.
+func BuildSchedule(cell Cell) (*trace.Schedule, error) {
+	n := cell.W * cell.H
+	sp := cell.Scenario
+	switch sp.Name {
+	case "paper":
+		return nil, nil
+	case "churn":
+		return trace.UniformChurn(n, cell.Rounds, sp.Rate, true, cell.ScheduleSeed)
+	case "flash-crowd":
+		return trace.FlashCrowd(n, sp.FailAt, int(sp.Crowd*float64(n)), sp.RejoinAt)
+	case "rolling-partition":
+		pos := shape.Grid(cell.W, cell.H, 1)
+		return failures.RollingPartition(pos, float64(cell.W), sp.Bands, sp.FailAt, sp.Stride, sp.RejoinAt)
+	case "rack-failure":
+		pos := shape.Grid(cell.W, cell.H, 1)
+		h, err := failures.NewHierarchy(sp.DCs, sp.Racks, failures.Correlated, pos, float64(cell.W), nil)
+		if err != nil {
+			return nil, err
+		}
+		return failures.DatacenterOutage(h, n, sp.FailAt, sp.RejoinAt, 0)
+	case "weibull":
+		return trace.WeibullLifetimes(n, cell.Rounds, sp.Shape, sp.Scale, true, cell.ScheduleSeed)
+	case "trace":
+		f, err := os.Open(sp.Trace)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadScheduleCSV(f)
+	}
+	return nil, fmt.Errorf("experiments: unknown scenario %q", sp.Name)
+}
+
+// RunCell executes one cell to completion. pool may be nil (no engine
+// reuse); with a pool, the cell borrows an engine sized for its grid and
+// parks it back when done — the pooled trajectory is byte-identical to a
+// fresh engine's, which the grid's repeat runs audit.
+func RunCell(cell Cell, pool *scenario.EnginePool) (CellResult, error) {
+	det, err := ParseDetector(cell.Detector, scenario.CellSeed(cell.Seed, "detector"))
+	if err != nil {
+		return CellResult{}, err
+	}
+	cfg := scenario.Config{
+		Seed:                cell.Seed,
+		W:                   cell.W,
+		H:                   cell.H,
+		Polystyrene:         true,
+		K:                   cell.K,
+		Detector:            det,
+		ExchangeParallelism: cell.Exchange,
+	}
+	release := pool.Acquire(&cfg)
+	defer release()
+
+	var sc *scenario.Scenario
+	if cell.Scenario.Name == "paper" {
+		sc, err = scenario.New(cfg)
+		if err != nil {
+			return CellResult{}, err
+		}
+		ph := scenario.Phases{FailAt: cell.Scenario.FailAt, ReinjectAt: cell.Scenario.RejoinAt, End: cell.Rounds}
+		scenario.DrivePhases(sc, ph, cell.Rounds)
+	} else {
+		sched, berr := BuildSchedule(cell)
+		if berr != nil {
+			return CellResult{}, berr
+		}
+		sc, _, err = scenario.RunSchedule(cfg, sched, cell.Rounds)
+		if err != nil {
+			return CellResult{}, err
+		}
+	}
+	if cfg.Engine == nil {
+		defer sc.Close()
+	}
+
+	out := CellResult{
+		Cell:             cell,
+		FinalHomogeneity: sc.Homogeneity(),
+		ReferenceH:       sc.ReferenceHomogeneity(),
+		ReliabilityPct:   100 * sc.Reliability(),
+		Series:           sc.Result(),
+	}
+	out.ShapeHeld = out.FinalHomogeneity < out.ReferenceH
+	out.Fingerprint = Fingerprint(out.Series)
+	return out, nil
+}
+
+// RunOpts bounds a grid execution.
+type RunOpts struct {
+	// Parallelism is the worker budget for concurrent cells; <= 0 means
+	// GOMAXPROCS.
+	Parallelism int
+	// MemBudgetBytes bounds concurrent cells by their estimated engine
+	// footprint (<= 0: unbounded); the largest cell in the grid is used
+	// as the per-job estimate.
+	MemBudgetBytes int64
+	// PoolEngines recycles engines across equal-size cells.
+	PoolEngines bool
+	// Progress, when non-nil, receives one line per finished cell (order
+	// reflects completion, not expansion; results always fold in
+	// expansion order).
+	Progress func(line string)
+}
+
+// Run expands the spec and executes every cell under the given budget.
+// Results come back in expansion order regardless of scheduling, so a
+// grid run is deterministic at every parallelism level.
+func Run(spec *Spec, opts RunOpts) ([]CellResult, error) {
+	cells := spec.Expand()
+	results := make([]CellResult, len(cells))
+	var maxBytes int64
+	for _, c := range cells {
+		cfg := scenario.Config{W: c.W, H: c.H, Polystyrene: true, K: c.K}
+		if b := cfg.EstimatedFootprintBytes(); b > maxBytes {
+			maxBytes = b
+		}
+	}
+	par, _ := runner.Budget{
+		Workers:  opts.Parallelism,
+		MemBytes: opts.MemBudgetBytes,
+		JobBytes: maxBytes,
+	}.Split(len(cells))
+	var pool *scenario.EnginePool
+	if opts.PoolEngines {
+		pool = scenario.NewEnginePool()
+	}
+	defer pool.Drain()
+	err := runner.Map(par, len(cells), func(i int) error {
+		r, err := RunCell(cells[i], pool)
+		if err != nil {
+			return fmt.Errorf("experiments: cell %s: %w", cells[i].ID(), err)
+		}
+		results[i] = r
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf("cell %d/%d %s: h=%.4f H=%.4f rel=%.1f%% fp=%016x",
+				i+1, len(cells), cells[i].ID(), r.FinalHomogeneity, r.ReferenceH, r.ReliabilityPct, r.Fingerprint))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// AuditDeterminism cross-checks the grid's built-in identity invariant:
+// cells that differ only in exchange parallelism >= 1 share a seed and a
+// schedule, so the engine contract requires their series to be
+// byte-identical. Returns the number of multi-cell identity groups
+// checked, and an error naming the first divergence. Cells at level 0
+// (the legacy sequential engine, a distinct deterministic trajectory)
+// form their own group.
+func AuditDeterminism(results []CellResult) (groups int, err error) {
+	type key struct {
+		label      string
+		w, h, k    int
+		det        string
+		rep        int
+		sequential bool
+	}
+	first := make(map[key]*CellResult)
+	checked := make(map[key]bool)
+	for i := range results {
+		r := &results[i]
+		k := key{r.Cell.Scenario.Label, r.Cell.W, r.Cell.H, r.Cell.K, r.Cell.Detector, r.Cell.Rep, r.Cell.Exchange == 0}
+		prev, ok := first[k]
+		if !ok {
+			first[k] = r
+			continue
+		}
+		if !checked[k] {
+			checked[k] = true
+			groups++
+		}
+		if prev.Fingerprint != r.Fingerprint {
+			return groups, fmt.Errorf("experiments: determinism violation: %s (fp %016x) and %s (fp %016x) must be byte-identical",
+				prev.Cell.ID(), prev.Fingerprint, r.Cell.ID(), r.Fingerprint)
+		}
+	}
+	return groups, nil
+}

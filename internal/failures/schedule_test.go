@@ -1,0 +1,188 @@
+package failures
+
+import (
+	"testing"
+
+	"polystyrene/internal/shape"
+	"polystyrene/internal/sim"
+	"polystyrene/internal/trace"
+)
+
+// These property tests pin the schedule generators to direct
+// event-by-event application of the live injectors: the set of nodes a
+// generated schedule crashes must be exactly the set FailDatacenter /
+// FailRack / region membership would crash on an engine — same domain
+// model, two code paths, one truth.
+
+func corrHierarchy(t *testing.T, w, h, dcs, racks int) *Hierarchy {
+	t.Helper()
+	pos := shape.Grid(w, h, 1)
+	hier, err := NewHierarchy(dcs, racks, Correlated, pos, float64(w), nil)
+	if err != nil {
+		t.Fatalf("NewHierarchy: %v", err)
+	}
+	return hier
+}
+
+func leaveSet(s *trace.Schedule, round int) map[int]bool {
+	out := make(map[int]bool)
+	for _, ev := range s.Events {
+		if ev.Op == trace.OpLeave && (round < 0 || ev.Round == round) {
+			out[ev.Node] = true
+		}
+	}
+	return out
+}
+
+func TestDomainFailureEventsMatchInjector(t *testing.T) {
+	const w, h = 24, 12
+	n := w * h
+	hier := corrHierarchy(t, w, h, 4, 3)
+
+	for _, tc := range []struct{ dc, rack int }{{0, -1}, {2, -1}, {1, 0}, {3, 2}} {
+		events := DomainFailureEvents(nil, hier, n, 5, tc.dc, tc.rack)
+
+		// Direct application: a fresh engine, kill through the injector.
+		eng := sim.New(1)
+		eng.AddNodes(n)
+		if tc.rack < 0 {
+			hier.FailDatacenter(eng, tc.dc)
+		} else {
+			hier.FailRack(eng, tc.dc, tc.rack)
+		}
+		direct := make(map[int]bool)
+		for id := 0; id < n; id++ {
+			if !eng.Alive(sim.NodeID(id)) {
+				direct[id] = true
+			}
+		}
+		eng.Close()
+
+		scripted := make(map[int]bool)
+		for _, ev := range events {
+			if ev.Round != 5 || ev.Op != trace.OpLeave {
+				t.Fatalf("dc %d rack %d: unexpected event %+v", tc.dc, tc.rack, ev)
+			}
+			if scripted[ev.Node] {
+				t.Fatalf("dc %d rack %d: node %d scripted twice", tc.dc, tc.rack, ev.Node)
+			}
+			scripted[ev.Node] = true
+		}
+		if len(scripted) != len(direct) {
+			t.Fatalf("dc %d rack %d: schedule crashes %d nodes, injector %d", tc.dc, tc.rack, len(scripted), len(direct))
+		}
+		for id := range direct {
+			if !scripted[id] {
+				t.Errorf("dc %d rack %d: injector kills node %d, schedule does not", tc.dc, tc.rack, id)
+			}
+		}
+	}
+}
+
+func TestDatacenterOutageSchedule(t *testing.T) {
+	const w, h = 16, 8
+	n := w * h
+	hier := corrHierarchy(t, w, h, 4, 4)
+	s, err := DatacenterOutage(hier, n, 10, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every member of dc 1 leaves at round 10, nobody else.
+	killed := leaveSet(s, 10)
+	for id := 0; id < n; id++ {
+		want := hier.Datacenter(sim.NodeID(id)) == 1
+		if killed[id] != want {
+			t.Errorf("node %d (dc %d): killed=%v want %v", id, hier.Datacenter(sim.NodeID(id)), killed[id], want)
+		}
+	}
+	// Matched joins at round 20, sequential from n.
+	joins := 0
+	for _, ev := range s.Events {
+		if ev.Op == trace.OpJoin {
+			if ev.Round != 20 {
+				t.Errorf("join at round %d, want 20", ev.Round)
+			}
+			joins++
+		}
+	}
+	if joins != len(killed) {
+		t.Errorf("%d rejoins for %d kills", joins, len(killed))
+	}
+	// No-rejoin variant.
+	s2, err := DatacenterOutage(hier, n, 10, -1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range s2.Events {
+		if ev.Op == trace.OpJoin {
+			t.Fatal("rejoinRound < 0 must not script joins")
+		}
+	}
+	if _, err := DatacenterOutage(hier, n, 10, 5, 1); err == nil {
+		t.Error("rejoin before fail must be rejected")
+	}
+	if _, err := DatacenterOutage(hier, n, 10, 20, 7); err == nil {
+		t.Error("out-of-range datacenter must be rejected")
+	}
+}
+
+func TestRollingPartitionSchedule(t *testing.T) {
+	const w, h = 20, 10
+	pos := shape.Grid(w, h, 1)
+	const bands, start, stride = 4, 6, 3
+	s, err := RollingPartition(pos, float64(w), bands, start, stride, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node leaves exactly once, at the round of its position band —
+	// the same banding RegionFailureEvents applies directly.
+	all := leaveSet(s, -1)
+	if len(all) != w*h {
+		t.Fatalf("partition sweep crashed %d of %d nodes", len(all), w*h)
+	}
+	for b := 0; b < bands; b++ {
+		lo := float64(w) * float64(b) / bands
+		hi := float64(w) * float64(b+1) / bands
+		if b == bands-1 {
+			hi = float64(w) + 1
+		}
+		direct := make(map[int]bool)
+		for _, ev := range RegionFailureEvents(nil, pos, lo, hi, start+b*stride) {
+			direct[ev.Node] = true
+		}
+		got := leaveSet(s, start+b*stride)
+		if len(got) != len(direct) {
+			t.Fatalf("band %d: schedule crashes %d nodes, direct region application %d", b, len(got), len(direct))
+		}
+		for id := range direct {
+			if !got[id] {
+				t.Errorf("band %d: node %d missing from schedule", b, id)
+			}
+		}
+	}
+	// With rejoin, each band's loss is matched `rejoin` rounds later.
+	const rejoin = 2
+	s2, err := RollingPartition(pos, float64(w), bands, start, stride, rejoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinsAt := make(map[int]int)
+	for _, ev := range s2.Events {
+		if ev.Op == trace.OpJoin {
+			joinsAt[ev.Round]++
+		}
+	}
+	for b := 0; b < bands; b++ {
+		killRound := start + b*stride
+		kills := len(leaveSet(s2, killRound))
+		if joinsAt[killRound+rejoin] != kills {
+			t.Errorf("band %d: %d kills at %d but %d joins at %d", b, kills, killRound, joinsAt[killRound+rejoin], killRound+rejoin)
+		}
+	}
+	if _, err := RollingPartition(pos, float64(w), 0, 1, 1, -1); err == nil {
+		t.Error("zero bands must be rejected")
+	}
+	if _, err := RollingPartition(pos, -3, 2, 1, 1, -1); err == nil {
+		t.Error("negative width must be rejected")
+	}
+}

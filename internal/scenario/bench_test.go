@@ -10,6 +10,8 @@ import (
 	"polystyrene/internal/ckpt"
 	"polystyrene/internal/metrics"
 	"polystyrene/internal/sim"
+	"polystyrene/internal/trace"
+	"polystyrene/internal/xrand"
 )
 
 // BenchmarkMetricsRound measures one full per-round metrics sweep
@@ -216,6 +218,58 @@ func BenchmarkAutoCheckpoint(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkScheduleReplay measures one trace-replayed round at the
+// paper's largest configuration — 51,200 nodes on the 320x160 torus under
+// 0.1% uniform churn with replacement — against the equivalent in-band
+// churn round, whose victims are drawn live from an RNG as the run goes.
+// The replay variant pays event lookup, join-identity verification and
+// the kills/joins themselves on top of the same full-stack exchanges, so
+// the delta is the price of replayable, checkpoint-composable
+// availability schedules. Tracked in BENCH_*.json via scripts/bench.sh.
+func BenchmarkScheduleReplay(b *testing.B) {
+	const rate = 0.001
+	const convergeRounds = 5
+	cfg := Config{Seed: 5, W: 320, H: 160, Polystyrene: true, K: 4, SkipMetrics: true}
+	b.Run("replay", func(b *testing.B) {
+		// The script covers far more rounds than any realistic benchtime
+		// reaches; rounds beyond it replay event-free.
+		const horizon = 2048
+		sched, err := trace.UniformChurn(cfg.W*cfg.H, horizon, rate, true, 77)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc := MustNew(cfg)
+		b.Cleanup(sc.Close)
+		// Convergence happens inside the drive so the event ledger and the
+		// engine population stay reconciled.
+		if err := DriveSchedule(sc, sched, convergeRounds); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := DriveSchedule(sc, sched, convergeRounds+b.N); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("inband", func(b *testing.B) {
+		sc := MustNew(cfg)
+		b.Cleanup(sc.Close)
+		sc.Run(convergeRounds)
+		rng := xrand.New(77)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			live := sc.Engine.LiveIDs()
+			kills := int(rate * float64(len(live)))
+			for _, idx := range rng.Sample(len(live), kills) {
+				sc.Engine.Kill(live[idx])
+			}
+			sc.Reinject(kills)
+			sc.Run(1)
+		}
+	})
 }
 
 // BenchmarkMeasureReshaping measures the full-stack reshaping experiment

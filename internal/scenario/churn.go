@@ -131,7 +131,7 @@ func ChurnSweep(base Config, rates []float64, opts ChurnSweepOpts) ([]ChurnOutco
 	}
 	cellPar, exPar := run.compose(len(rates), est.EstimatedFootprintBytes())
 	pool := run.pool()
-	defer pool.drain()
+	defer pool.Drain()
 
 	warm := opts.WarmSnapshot
 	if warm == nil && opts.WarmStart {
@@ -139,7 +139,7 @@ func ChurnSweep(base Config, rates []float64, opts ChurnSweepOpts) ([]ChurnOutco
 		cfg.Polystyrene = true
 		cfg.ExchangeParallelism = exPar
 		cfg.Seed = sweepSeed(base.Seed, "churn-warm")
-		release := pool.acquire(&cfg)
+		release := pool.Acquire(&cfg)
 		b, err := ConvergedSnapshot(cfg, opts.ConvergeRounds)
 		release()
 		if err != nil {
@@ -153,7 +153,7 @@ func ChurnSweep(base Config, rates []float64, opts ChurnSweepOpts) ([]ChurnOutco
 		cfg.Seed = sweepSeed(base.Seed, "churn", uint64(i))
 		cfg.Polystyrene = true
 		cfg.ExchangeParallelism = exPar
-		defer pool.acquire(&cfg)()
+		defer pool.Acquire(&cfg)()
 		churn := ChurnConfig{Rate: rates[i], Replace: true, Rounds: opts.ChurnRounds}
 		var out ChurnOutcome
 		var err error

@@ -126,6 +126,15 @@ func sweepSeed(base uint64, label string, parts ...uint64) uint64 {
 	return x
 }
 
+// CellSeed derives a well-separated per-cell seed from a base seed, a
+// variant label and the cell coordinates — the exported form of the
+// sweep-seed derivation, shared with the experiment-grid runner
+// (internal/experiments) so grid cells and sweep cells use one collision
+// -resistant scheme.
+func CellSeed(base uint64, label string, parts ...uint64) uint64 {
+	return sweepSeed(base, label, parts...)
+}
+
 // RunOpts bundles the execution parameters shared by the repeated-run
 // harnesses (Table II, Fig. 10 sweeps).
 type RunOpts struct {
@@ -190,20 +199,25 @@ func (o RunOpts) compose(jobs int, cellBytes int64) (cellPar, exPar int) {
 	}.Split(jobs)
 }
 
-// enginePool recycles engines across the cells of one sweep, keyed by
-// initial node count so equal-size cells reuse fully-sized backing
-// arrays. Concurrent cells each hold a distinct engine; a cell that finds
-// the pool empty gets a fresh engine that joins the pool when it is
-// released. drain closes every pooled engine (releasing parked exchange
-// workers) once the sweep has folded its results.
-type enginePool struct {
+// EnginePool recycles engines across the cells of one sweep or
+// experiment grid, keyed by initial node count so equal-size cells reuse
+// fully-sized backing arrays. Concurrent cells each hold a distinct
+// engine; a cell that finds the pool empty gets a fresh engine that joins
+// the pool when it is released. Drain closes every pooled engine
+// (releasing parked exchange workers) once the run has folded its
+// results. A nil *EnginePool means pooling is off: Acquire is a no-op and
+// Drain does nothing, so callers thread one variable either way.
+type EnginePool struct {
 	mu   sync.Mutex
 	free map[int][]*sim.Engine
 }
 
-// acquire hands cfg a pooled engine (pool == nil means pooling is off and
-// acquire is a no-op) and returns the release that parks it back.
-func (p *enginePool) acquire(cfg *Config) (release func()) {
+// NewEnginePool returns an empty pool.
+func NewEnginePool() *EnginePool { return &EnginePool{} }
+
+// Acquire hands cfg a pooled engine (pool == nil means pooling is off and
+// Acquire is a no-op) and returns the release that parks it back.
+func (p *EnginePool) Acquire(cfg *Config) (release func()) {
 	if p == nil {
 		return func() {}
 	}
@@ -230,7 +244,8 @@ func (p *enginePool) acquire(cfg *Config) (release func()) {
 	}
 }
 
-func (p *enginePool) drain() {
+// Drain closes every parked engine and empties the pool.
+func (p *EnginePool) Drain() {
 	if p == nil {
 		return
 	}
@@ -245,11 +260,11 @@ func (p *enginePool) drain() {
 }
 
 // pool returns the sweep-lifetime engine pool, nil when pooling is off.
-func (o RunOpts) pool() *enginePool {
+func (o RunOpts) pool() *EnginePool {
 	if !o.PoolEngines {
 		return nil
 	}
-	return &enginePool{}
+	return NewEnginePool()
 }
 
 // TableIIRow aggregates repeated reshaping measurements for one K.
@@ -272,7 +287,7 @@ func TableII(base Config, ks []int, opts RunOpts) ([]TableIIRow, error) {
 	est.Polystyrene = true
 	cellPar, exPar := opts.compose(len(outcomes), est.EstimatedFootprintBytes())
 	pool := opts.pool()
-	defer pool.drain()
+	defer pool.Drain()
 	err := runner.Map(cellPar, len(outcomes), func(job int) error {
 		k := ks[job/opts.Reps]
 		rep := job % opts.Reps
@@ -281,7 +296,7 @@ func TableII(base Config, ks []int, opts RunOpts) ([]TableIIRow, error) {
 		cfg.K = k
 		cfg.ExchangeParallelism = exPar
 		cfg.Seed = sweepSeed(base.Seed, "tableII", uint64(k), uint64(rep))
-		defer pool.acquire(&cfg)()
+		defer pool.Acquire(&cfg)()
 		out, err := MeasureReshaping(cfg, opts.ConvergeRounds, opts.MaxRounds)
 		if err != nil {
 			return err
@@ -369,7 +384,7 @@ func SizeSweep(base Config, sizes []GridSize, variants map[string]func(Config) C
 	}
 	cellPar, exPar := opts.compose(len(cells), est.EstimatedFootprintBytes())
 	pool := opts.pool()
-	defer pool.drain()
+	defer pool.Drain()
 
 	// Warm start: converge one cell per distinct (variant, size)
 	// configuration up front and share its checkpoint across the
@@ -394,7 +409,7 @@ func SizeSweep(base Config, sizes []GridSize, variants map[string]func(Config) C
 			cfg.W, cfg.H = k.size.W, k.size.H
 			cfg.ExchangeParallelism = exPar
 			cfg.Seed = sweepSeed(base.Seed, "warm:"+k.label, uint64(k.size.W), uint64(k.size.H))
-			release := pool.acquire(&cfg)
+			release := pool.Acquire(&cfg)
 			b, err := ConvergedSnapshot(cfg, opts.ConvergeRounds)
 			release()
 			if err != nil {
@@ -419,7 +434,7 @@ func SizeSweep(base Config, sizes []GridSize, variants map[string]func(Config) C
 		cfg.W, cfg.H = c.size.W, c.size.H
 		cfg.ExchangeParallelism = exPar
 		cfg.Seed = sweepSeed(base.Seed, c.label, uint64(c.size.W), uint64(c.size.H), uint64(c.rep))
-		defer pool.acquire(&cfg)()
+		defer pool.Acquire(&cfg)()
 		var res ReshapingOutcome
 		var err error
 		if warm != nil {

@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFlashCrowdStructure(t *testing.T) {
+	s, err := FlashCrowd(10, 3, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Universe() != 14 || s.Horizon() != 9 {
+		t.Fatalf("universe %d horizon %d, want 14, 9", s.Universe(), s.Horizon())
+	}
+	joins, leaves := 0, 0
+	for _, ev := range s.Events {
+		switch ev.Op {
+		case OpJoin:
+			if ev.Round != 3 {
+				t.Errorf("join at round %d, want 3", ev.Round)
+			}
+			joins++
+		case OpLeave:
+			if ev.Round != 8 {
+				t.Errorf("leave at round %d, want 8", ev.Round)
+			}
+			if ev.Node < 10 {
+				t.Errorf("flash crowd must not crash initial node %d", ev.Node)
+			}
+			leaves++
+		}
+	}
+	if joins != 4 || leaves != 4 {
+		t.Errorf("joins %d leaves %d, want 4, 4", joins, leaves)
+	}
+	// The bounce case: crowd joins and leaves the same round.
+	if _, err := FlashCrowd(10, 5, 3, 5); err != nil {
+		t.Errorf("same-round flash crowd: %v", err)
+	}
+	if _, err := FlashCrowd(10, 5, 3, 4); err == nil {
+		t.Error("leave before join must be rejected")
+	}
+	if _, err := FlashCrowd(-1, 0, 1, 1); err == nil {
+		t.Error("negative initial must be rejected")
+	}
+}
+
+func TestUniformChurnProperties(t *testing.T) {
+	const initial, rounds = 300, 25
+	const rate = 0.05
+	s, err := UniformChurn(initial, rounds, rate, true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed, same script; different seed, different script.
+	again, err := UniformChurn(initial, rounds, rate, true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, again) {
+		t.Error("UniformChurn is not deterministic for a fixed seed")
+	}
+	other, err := UniformChurn(initial, rounds, rate, true, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(s.Events, other.Events) {
+		t.Error("different seeds produced identical churn scripts")
+	}
+	// With replacement every round is population-neutral: joins == leaves
+	// per round, and the steady population keeps per-round kills at
+	// int(rate*initial).
+	perRound := make(map[int][2]int)
+	for _, ev := range s.Events {
+		c := perRound[ev.Round]
+		if ev.Op == OpJoin {
+			c[0]++
+		} else {
+			c[1]++
+		}
+		perRound[ev.Round] = c
+	}
+	want := int(rate * float64(initial))
+	for r, c := range perRound {
+		if c[0] != c[1] {
+			t.Errorf("round %d: %d joins vs %d leaves under replacement", r, c[0], c[1])
+		}
+		if c[1] != want {
+			t.Errorf("round %d: %d kills, want %d", r, c[1], want)
+		}
+	}
+	// Without replacement the population shrinks and no joins appear.
+	noRep, err := UniformChurn(initial, rounds, rate, false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range noRep.Events {
+		if ev.Op == OpJoin {
+			t.Fatal("replace=false produced a join")
+		}
+	}
+	if _, err := UniformChurn(10, 5, 1.5, true, 1); err == nil {
+		t.Error("rate >= 1 must be rejected")
+	}
+}
+
+func TestWeibullLifetimesProperties(t *testing.T) {
+	const initial, horizon = 200, 40
+	s, err := WeibullLifetimes(initial, horizon, 0.7, 10, true, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := WeibullLifetimes(initial, horizon, 0.7, 10, true, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, again) {
+		t.Error("WeibullLifetimes is not deterministic for a fixed seed")
+	}
+	// Replacement keeps every round population-neutral, and a short scale
+	// must actually kill something over 40 rounds.
+	perRound := make(map[int][2]int)
+	for _, ev := range s.Events {
+		c := perRound[ev.Round]
+		if ev.Op == OpJoin {
+			c[0]++
+		} else {
+			c[1]++
+		}
+		perRound[ev.Round] = c
+	}
+	if len(perRound) == 0 {
+		t.Fatal("no deaths scheduled despite scale << horizon")
+	}
+	for r, c := range perRound {
+		if c[0] != c[1] {
+			t.Errorf("round %d: %d joins vs %d leaves under replacement", r, c[0], c[1])
+		}
+	}
+	if _, err := WeibullLifetimes(10, 5, 0, 1, true, 1); err == nil {
+		t.Error("non-positive shape must be rejected")
+	}
+	if _, err := WeibullLifetimes(10, 5, 1, -2, true, 1); err == nil {
+		t.Error("non-positive scale must be rejected")
+	}
+}

@@ -15,8 +15,11 @@
 # BenchmarkServeLookup (the allocation-free epoch read path) and
 # BenchmarkServePhases (sustained QPS and p50/p99 lookup latency over
 # real loopback HTTP while the overlay rides calm, catastrophe-recovery
-# and sustained-churn phase scripts) — and converts the `go test -json`
-# stream into a stable JSON document via scripts/benchjson.
+# and sustained-churn phase scripts) — and, from BENCH_9 on, the
+# 51,200-node BenchmarkScheduleReplay (one trace-replayed churn round vs
+# the equivalent in-band churn round: the price of replayable
+# availability schedules) — and converts the `go test -json` stream into
+# a stable JSON document via scripts/benchjson.
 #
 # It then gates two alloc contracts: one warmed BenchmarkGossipRound per
 # overlay package (rps, tman, vicinity) must report 0 allocs/op, and the
@@ -29,11 +32,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_8.json}"
+out="${1:-BENCH_9.json}"
 benchtime="${2:-5x}"
 
 go test -json -run '^$' \
-  -bench 'BenchmarkMigrateRound|BenchmarkMetricsRound|BenchmarkProximityRound|BenchmarkNeighborsQuery|BenchmarkFig10aScalability|BenchmarkParallelRound|BenchmarkSnapshotRestore|BenchmarkAutoCheckpoint|BenchmarkEpochPublish|BenchmarkServeLookup|BenchmarkServePhases' \
+  -bench 'BenchmarkMigrateRound|BenchmarkMetricsRound|BenchmarkProximityRound|BenchmarkNeighborsQuery|BenchmarkFig10aScalability|BenchmarkParallelRound|BenchmarkSnapshotRestore|BenchmarkAutoCheckpoint|BenchmarkScheduleReplay|BenchmarkEpochPublish|BenchmarkServeLookup|BenchmarkServePhases' \
   -benchmem -benchtime "$benchtime" -timeout 60m \
   . ./internal/core/ ./internal/scenario/ ./internal/serve/ ./internal/tman/ |
   go run ./scripts/benchjson > "$out"

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the paper's full experiment grid (scripts/paper/experiments.json)
+# through cmd/polygrid into a timestamped results folder.
+#
+# --smoke runs the tiny CI grid (scripts/paper/smoke.json) end-to-end
+# with a fixed stamp and diffs the analyzer's tables.md and the -dry-run
+# grid expansion against the goldens in scripts/paper/testdata/ — the
+# from-fresh-clone reproducibility check. Everything after --smoke (or
+# the full grid's own extra flags) is passed through to polygrid.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+if [ "${1:-}" = "--smoke" ]; then
+    shift
+    out="$(mktemp -d)"
+    trap 'rm -rf "$out"' EXIT
+    go run ./cmd/polygrid -spec scripts/paper/smoke.json -dry-run |
+        diff -u scripts/paper/testdata/smoke_grid.golden.txt - ||
+        { echo "run_all.sh: -dry-run expansion diverged from golden" >&2; exit 1; }
+    go run ./cmd/polygrid -spec scripts/paper/smoke.json -out "$out" -stamp smoke -q "$@"
+    diff -u scripts/paper/testdata/smoke_tables.golden.md "$out/smoke-smoke/tables.md" ||
+        { echo "run_all.sh: smoke tables.md diverged from golden" >&2; exit 1; }
+    echo "smoke grid reproduced the golden analyzer table"
+else
+    exec go run ./cmd/polygrid -spec scripts/paper/experiments.json -out results "$@"
+fi
