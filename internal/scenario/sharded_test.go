@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"polystyrene/internal/sim"
+)
+
+// TestShardedScenarioDeterministic pins the sharded topology at the
+// full-stack level: for each shard count the complete paper scenario —
+// convergence, half-torus catastrophe, reinjection — runs to the end and
+// two identical runs produce byte-identical per-round metric records and
+// reliability. This is the scenario-level face of the sim package's
+// TestSharded* suite and runs under -race in CI's determinism matrix.
+func TestShardedScenarioDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack sharded identity run; exercised by CI's dedicated race step")
+	}
+	for _, shards := range []int{2, 4} {
+		cfg := Config{Seed: 42, W: 20, H: 10, Polystyrene: true, Shards: shards}
+		ref, refRel := paperRun(t, cfg)
+		res, rel := paperRun(t, cfg)
+		if !reflect.DeepEqual(res, ref) {
+			t.Fatalf("shards=%d: two identical runs diverged", shards)
+		}
+		if rel != refRel {
+			t.Fatalf("shards=%d: reliability %v then %v", shards, refRel, rel)
+		}
+	}
+}
+
+// TestShardedPrecedenceOverExchangeParallelism pins the scheduler
+// selection contract documented on Config.Shards: when both sharding and
+// exchange batching are requested, sharding wins, and the worker count
+// has no effect on the trajectory.
+func TestShardedPrecedenceOverExchangeParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack sharded identity run; exercised by CI's dedicated race step")
+	}
+	plain := Config{Seed: 7, W: 16, H: 8, Polystyrene: true, Shards: 2}
+	both := plain
+	both.ExchangeParallelism = 4
+	refRes, refRel := paperRun(t, plain)
+	res, rel := paperRun(t, both)
+	if !reflect.DeepEqual(res, refRes) || rel != refRel {
+		t.Fatal("ExchangeParallelism changed a sharded trajectory; sharding must take precedence")
+	}
+}
+
+// TestShardedSnapshotDigest pins that the shard count is part of the
+// trajectory identity: a snapshot taken under one shard count restores
+// into the same count and is refused by any other — including the
+// single-engine topology — because the boundary-mailbox schedule would
+// silently differ from there on.
+func TestShardedSnapshotDigest(t *testing.T) {
+	cfg := Config{Seed: 31, W: 8, H: 4, Polystyrene: true, Shards: 2}
+	sc := MustNew(cfg)
+	defer sc.Close()
+	sc.Run(6)
+	var buf bytes.Buffer
+	if err := sc.SnapshotTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	same := MustNew(cfg)
+	defer same.Close()
+	if err := same.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("same-count restore refused: %v", err)
+	}
+
+	for _, shards := range []int{0, 1, 4} {
+		other := cfg
+		other.Shards = shards
+		target := MustNew(other)
+		if err := target.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+			t.Fatalf("2-shard snapshot restored into shards=%d", shards)
+		}
+		target.Close()
+	}
+
+	// Normalisation: 0 and 1 are the same single-engine identity.
+	single := Config{Seed: 31, W: 8, H: 4, Polystyrene: true}
+	s0 := MustNew(single)
+	s0.Run(3)
+	var sb bytes.Buffer
+	if err := s0.SnapshotTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	s0.Close()
+	single.Shards = 1
+	s1 := MustNew(single)
+	defer s1.Close()
+	if err := s1.Restore(bytes.NewReader(sb.Bytes())); err != nil {
+		t.Fatalf("shards=0 snapshot must restore into shards=1: %v", err)
+	}
+}
+
+// TestShardedRejectsUnevenTiling pins the configuration error path: a
+// shard count that does not divide the grid width is refused at
+// construction with the router's error, never silently rounded.
+func TestShardedRejectsUnevenTiling(t *testing.T) {
+	_, err := New(Config{Seed: 1, W: 20, H: 10, Polystyrene: true, Shards: 3})
+	if err == nil {
+		t.Fatal("3 shards over width 20 accepted")
+	}
+	if !strings.Contains(err.Error(), "shard") {
+		t.Fatalf("error does not mention sharding: %v", err)
+	}
+}
+
+// TestShardedProviderWiring pins the topology-provider split at the
+// scenario level: the default is the single-engine provider with no
+// router and no engine shard map; Shards >= 2 selects the sharded
+// provider whose router tiles the configured grid.
+func TestShardedProviderWiring(t *testing.T) {
+	single := MustNew(Config{Seed: 1, W: 16, H: 8, Polystyrene: true})
+	defer single.Close()
+	if p := single.Provider(); p.Name() != "single" || p.Router() != nil {
+		t.Fatalf("default provider = %q/%v", p.Name(), p.Router())
+	}
+	if single.Engine.Sharding() != nil {
+		t.Fatal("single topology installed a shard map")
+	}
+
+	sharded := MustNew(Config{Seed: 1, W: 16, H: 8, Polystyrene: true, Shards: 4})
+	defer sharded.Close()
+	p := sharded.Provider()
+	if p.Name() != "sharded" || p.Shards() != 4 || p.Router() == nil {
+		t.Fatalf("sharded provider = %q/%d/%v", p.Name(), p.Shards(), p.Router())
+	}
+	if w, h, step := p.Router().Grid(); w != 16 || h != 8 || step != 1 {
+		t.Fatalf("router grid = %dx%d step %g", w, h, step)
+	}
+	m := sharded.Engine.Sharding()
+	if m == nil || m.Shards() != 4 {
+		t.Fatal("sharded topology did not install a 4-shard map on the engine")
+	}
+	// Every node routes to the shard of its home cell, in range.
+	for id := 0; id < sharded.Engine.NumNodes(); id++ {
+		if s := m.ShardOf(sim.NodeID(id)); s < 0 || s >= 4 {
+			t.Fatalf("node %d -> shard %d out of range", id, s)
+		}
+	}
+}

@@ -81,6 +81,23 @@ func (f *Frontend) epoch(w http.ResponseWriter) *Epoch {
 	return nil
 }
 
+// parseNodeID parses a client-supplied node id, enforcing the serving
+// contract up front: ids are non-negative and bounded by the epoch
+// address space (int32 — the engine's dense tables index by NodeID, and
+// every published population fits). Parsing in 64 bits first means an
+// id like 4294967296 or -1 is rejected here as the client error it is,
+// instead of wrapping through the int conversion and turning into a
+// spurious 404 (or, on 32-bit builds, an implementation-defined value).
+func parseNodeID(s string) (sim.NodeID, bool) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v < 0 || v > maxNodeID {
+		return 0, false
+	}
+	return sim.NodeID(v), true
+}
+
+const maxNodeID = 1<<31 - 1
+
 // vecPool recycles the query-vector scratch across requests so parsing a
 // lookup point costs no steady-state allocation.
 var vecPool = sync.Pool{
@@ -161,26 +178,34 @@ func (f *Frontend) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	if ep == nil {
 		return
 	}
-	id, err := strconv.Atoi(r.URL.Query().Get("id"))
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errResponse{Error: "bad id: " + err.Error()})
+	id, ok := parseNodeID(r.URL.Query().Get("id"))
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: "bad id: want an integer in [0, 2^31)"})
 		return
 	}
 	k := ep.K
 	if ks := r.URL.Query().Get("k"); ks != "" {
+		var err error
 		if k, err = strconv.Atoi(ks); err != nil || k < 0 {
 			writeJSON(w, http.StatusBadRequest, errResponse{Error: "bad k"})
 			return
 		}
 	}
-	nbs, ok := ep.AppendNeighbors(make([]sim.NodeID, 0, k), sim.NodeID(id), k)
+	// Clamp before sizing the result: the epoch can never answer more
+	// than its captured K-row width, so an arbitrary client k must not
+	// size the allocation (k=1e9 would otherwise reserve gigabytes per
+	// request before AppendNeighbors capped it).
+	if k > ep.K {
+		k = ep.K
+	}
+	nbs, ok := ep.AppendNeighbors(make([]sim.NodeID, 0, k), id, k)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errResponse{Error: "node dead or unknown in this epoch"})
 		return
 	}
 	f.queries.Add(1)
 	writeJSON(w, http.StatusOK, neighborsResponse{
-		Epoch: ep.Seq, Round: ep.Round, ID: sim.NodeID(id), Neighbors: nbs,
+		Epoch: ep.Seq, Round: ep.Round, ID: id, Neighbors: nbs,
 	})
 }
 
@@ -200,12 +225,11 @@ func (f *Frontend) handleNode(w http.ResponseWriter, r *http.Request) {
 	if ep == nil {
 		return
 	}
-	id, err := strconv.Atoi(r.PathValue("id"))
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errResponse{Error: "bad id: " + err.Error()})
+	nid, ok := parseNodeID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: "bad id: want an integer in [0, 2^31)"})
 		return
 	}
-	nid := sim.NodeID(id)
 	pos, ok := ep.Position(nid)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errResponse{Error: "node dead or unknown in this epoch"})

@@ -115,6 +115,79 @@ func TestFrontendBadInput(t *testing.T) {
 	}
 }
 
+// TestFrontendNodeIDRange pins the id parsing contract of both
+// id-taking endpoints: out-of-range ids — negative, beyond the int32
+// node address space, or beyond int64 entirely — are client errors
+// answered 400 before any epoch lookup, never wrapped into a NodeID
+// that would alias a real node or surface as a spurious 404. The
+// largest representable id is in range and gets the honest 404.
+func TestFrontendNodeIDRange(t *testing.T) {
+	p := NewPublisher(4)
+	f := NewFrontend(p)
+	p.Publish(newFakeSource(8))
+
+	cases := []struct {
+		name string
+		url  string
+		want int
+	}{
+		{"neighbors ok", "/neighbors?id=2", 200},
+		{"neighbors negative", "/neighbors?id=-1", 400},
+		{"neighbors just past int32", "/neighbors?id=2147483648", 400},
+		{"neighbors wraps to small int", "/neighbors?id=4294967297", 400},
+		{"neighbors past int64", "/neighbors?id=99999999999999999999", 400},
+		{"neighbors empty id", "/neighbors?id=", 400},
+		{"neighbors not a number", "/neighbors?id=2.5", 400},
+		{"neighbors max int32 is honest 404", "/neighbors?id=2147483647", 404},
+		{"node ok", "/node/2", 200},
+		{"node negative", "/node/-1", 400},
+		{"node just past int32", "/node/2147483648", 400},
+		{"node wraps to small int", "/node/4294967297", 400},
+		{"node past int64", "/node/99999999999999999999", 400},
+		{"node max int32 is honest 404", "/node/2147483647", 404},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			getJSON(t, f, tc.url, tc.want, nil)
+		})
+	}
+}
+
+// TestFrontendNeighborsKClamp pins the k sizing contract: the epoch can
+// never answer more than its captured K-row width, so a client k above
+// it is clamped before the result slice is sized — a huge k must behave
+// exactly like k=K instead of reserving client-controlled memory per
+// request (and the clamp must not disturb small-k answers).
+func TestFrontendNeighborsKClamp(t *testing.T) {
+	p := NewPublisher(4)
+	f := NewFrontend(p)
+	p.Publish(newFakeSource(16))
+
+	var ref neighborsResponse
+	getJSON(t, f, "/neighbors?id=5", 200, &ref) // k omitted: the full K row
+
+	cases := []struct {
+		name    string
+		url     string
+		wantLen int
+	}{
+		{"k above row width clamps", "/neighbors?id=5&k=7", len(ref.Neighbors)},
+		{"absurd k clamps", "/neighbors?id=5&k=1000000000", len(ref.Neighbors)},
+		{"k equal to row width", "/neighbors?id=5&k=4", len(ref.Neighbors)},
+		{"small k honoured", "/neighbors?id=5&k=2", 2},
+		{"k zero", "/neighbors?id=5&k=0", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var nr neighborsResponse
+			getJSON(t, f, tc.url, 200, &nr)
+			if len(nr.Neighbors) != tc.wantLen {
+				t.Fatalf("%s: %d neighbors, want %d (full row %v)", tc.url, len(nr.Neighbors), tc.wantLen, ref.Neighbors)
+			}
+		})
+	}
+}
+
 func TestFrontendLookupOnEmptyEpoch(t *testing.T) {
 	fs := newFakeSource(8)
 	for i := range fs.live {

@@ -1,0 +1,81 @@
+package shard
+
+import "sort"
+
+// Deferred identifies one cross-shard exchange postponed to the round
+// barrier: the step at index Step of the round's shuffled order, whose
+// planned conflict set (initiator, selected peer, backup targets) spans
+// the initiator's Home shard and at least the foreign shard Away (the
+// lowest-numbered one when several are crossed). The step itself is not
+// stored — its randomness is pinned by the engine's pre-split per-step
+// seed, so replaying the step index at the barrier reproduces it exactly.
+type Deferred struct {
+	Step int
+	Home ID
+	Away ID
+}
+
+// Mailbox accumulates the current round's deferred cross-shard
+// exchanges, one queue per ordered (home, away) shard pair — the unit a
+// distributed deployment would ship between engines at the barrier. The
+// zero value is ready to use; queues and their backing arrays are
+// retained across rounds, so a steady-state round allocates nothing.
+type Mailbox struct {
+	idx    map[uint64]int // pair key -> queue slot
+	queues [][]Deferred
+	total  int
+}
+
+func pairKey(home, away ID) uint64 {
+	return uint64(uint32(home))<<32 | uint64(uint32(away))
+}
+
+// Defer enqueues one deferred exchange into its (home, away) pair queue.
+func (m *Mailbox) Defer(d Deferred) {
+	if m.idx == nil {
+		m.idx = make(map[uint64]int)
+	}
+	key := pairKey(d.Home, d.Away)
+	slot, ok := m.idx[key]
+	if !ok {
+		slot = len(m.queues)
+		m.idx[key] = slot
+		m.queues = append(m.queues, nil)
+	}
+	m.queues[slot] = append(m.queues[slot], d)
+	m.total++
+}
+
+// Len returns how many exchanges are currently deferred.
+func (m *Mailbox) Len() int { return m.total }
+
+// NumPairs returns how many (home, away) shard pairs have ever exchanged
+// mailbox traffic (queues are retained when emptied).
+func (m *Mailbox) NumPairs() int { return len(m.queues) }
+
+// Drain appends every deferred exchange to dst in the canonical barrier
+// order — ascending home shard, then ascending step index — empties the
+// mailbox (retaining queue capacity) and returns the extended slice. The
+// round is implicit: one Drain call ends one round's mailbox, so the
+// documented (round, shard, step) replay order is Drain-call order, then
+// the order within the returned slice. Draining is deterministic: the
+// order depends only on the deferred set, never on queue or map layout.
+func (m *Mailbox) Drain(dst []Deferred) []Deferred {
+	if m.total == 0 {
+		return dst
+	}
+	base := len(dst)
+	for i := range m.queues {
+		dst = append(dst, m.queues[i]...)
+		m.queues[i] = m.queues[i][:0]
+	}
+	m.total = 0
+	out := dst[base:]
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Home != out[j].Home {
+			return out[i].Home < out[j].Home
+		}
+		return out[i].Step < out[j].Step
+	})
+	return dst
+}

@@ -1,0 +1,71 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMailboxCanonicalDrainOrder pins the barrier replay order: whatever
+// order exchanges were deferred in — interleaved across pairs, out of
+// step order within a pair (later waves defer earlier step indices) —
+// Drain yields ascending (home shard, step index).
+func TestMailboxCanonicalDrainOrder(t *testing.T) {
+	var m Mailbox
+	in := []Deferred{
+		{Step: 40, Home: 1, Away: 2},
+		{Step: 7, Home: 3, Away: 0},
+		{Step: 12, Home: 1, Away: 0},
+		{Step: 3, Home: 1, Away: 2}, // deferred after step 40: waves reorder
+		{Step: 99, Home: 0, Away: 1},
+		{Step: 2, Home: 0, Away: 3},
+	}
+	for _, d := range in {
+		m.Defer(d)
+	}
+	if m.Len() != len(in) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(in))
+	}
+	got := m.Drain(nil)
+	want := []Deferred{
+		{Step: 2, Home: 0, Away: 3},
+		{Step: 99, Home: 0, Away: 1},
+		{Step: 3, Home: 1, Away: 2},
+		{Step: 12, Home: 1, Away: 0},
+		{Step: 40, Home: 1, Away: 2},
+		{Step: 7, Home: 3, Away: 0},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("drain order:\n got %v\nwant %v", got, want)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("mailbox not empty after drain: %d", m.Len())
+	}
+}
+
+// TestMailboxReuse pins the steady-state contract: a drained mailbox is
+// empty, retains its pair queues, and the next round's deferrals land
+// cleanly; Drain appends to the caller's buffer.
+func TestMailboxReuse(t *testing.T) {
+	var m Mailbox
+	m.Defer(Deferred{Step: 1, Home: 0, Away: 1})
+	m.Defer(Deferred{Step: 2, Home: 1, Away: 0})
+	if got := m.Drain(nil); len(got) != 2 {
+		t.Fatalf("first drain: %v", got)
+	}
+	if m.NumPairs() != 2 {
+		t.Fatalf("NumPairs = %d after drain, want 2 (queues retained)", m.NumPairs())
+	}
+
+	m.Defer(Deferred{Step: 5, Home: 1, Away: 0})
+	buf := []Deferred{{Step: 0, Home: 9, Away: 9}} // pre-existing content survives
+	got := m.Drain(buf)
+	if len(got) != 2 || got[0].Home != 9 || got[1].Step != 5 {
+		t.Fatalf("append-drain = %v", got)
+	}
+	if m.NumPairs() != 2 {
+		t.Fatalf("reusing a pair queue grew NumPairs to %d", m.NumPairs())
+	}
+	if m.Drain(nil) != nil {
+		t.Fatal("empty mailbox drained non-nil")
+	}
+}

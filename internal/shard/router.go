@@ -1,0 +1,133 @@
+// Package shard splits one simulated torus across several engines. It is
+// the topology layer behind the ROADMAP's "break the 10^6-node barrier"
+// item: the paper's gossip exchanges are pair-atomic and geometrically
+// local, so a cell can be cut into regions whose interior traffic never
+// interacts, leaving only boundary exchanges to reconcile at round
+// barriers.
+//
+// The package is deliberately a leaf: it depends only on the geometry
+// (internal/space), never on the engine. Three pieces compose:
+//
+//   - Router maps grid cells to shards, derived from the cell
+//     configuration alone (W, H, Step, shard count) via the grid's cell
+//     inverses — every shard computes the identical map with no
+//     coordination or exchanged state.
+//   - Mailbox collects the exchanges whose conflict set crosses a shard
+//     boundary, one queue per (home, away) shard pair, and drains them in
+//     a canonical order at the barrier.
+//   - Topology is the provider split the harness wires: a single-engine
+//     cell and a sharded cell answer the same questions behind one
+//     interface, and the config's -shards knob selects which.
+//
+// The execution half — classifying steps as interior or boundary and
+// actually running shards concurrently — lives in internal/sim
+// (Engine.SetShardMap), which consumes this package.
+package shard
+
+import (
+	"fmt"
+
+	"polystyrene/internal/space"
+)
+
+// ID identifies one shard (one engine's region) of a sharded cell.
+type ID int32
+
+// Router deterministically maps the cells of a W x H torus grid to
+// shards. The partition is vertical bands of equal width: shard s owns
+// cells with cx in [s*W/shards, (s+1)*W/shards). Bands follow the grid's
+// row-major emission order (a contiguous x-range is the "consecutive
+// portion of the topology" idiom used throughout the codebase), and they
+// nest: when s1 divides s2, every s2-band lies inside exactly one
+// s1-band, which is what makes interior-only traffic produce identical
+// trajectories across shard counts that tile evenly.
+//
+// A Router is pure configuration — two routers built from equal
+// parameters are interchangeable, so every shard of a distributed
+// deployment derives the same map locally.
+type Router struct {
+	w, h   int
+	step   float64
+	shards int
+	band   int // cells per vertical band (w / shards)
+}
+
+// NewRouter returns the router of a w x h grid with the given step split
+// into shards vertical bands. The shard count must divide w so bands tile
+// the torus evenly; anything else is a configuration error.
+func NewRouter(w, h int, step float64, shards int) (*Router, error) {
+	if w <= 0 || h <= 0 || step <= 0 {
+		return nil, fmt.Errorf("shard: router requires positive grid dimensions and step (got %dx%d step %g)", w, h, step)
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: shard count must be >= 1 (got %d)", shards)
+	}
+	if w%shards != 0 {
+		return nil, fmt.Errorf("shard: %d shards do not tile a width-%d grid evenly (width %% shards must be 0)", shards, w)
+	}
+	return &Router{w: w, h: h, step: step, shards: shards, band: w / shards}, nil
+}
+
+// Shards returns the number of shards the router partitions into.
+func (r *Router) Shards() int { return r.shards }
+
+// Grid returns the grid configuration the router was derived from.
+func (r *Router) Grid() (w, h int, step float64) { return r.w, r.h, r.step }
+
+// CellOf returns the grid cell a position falls in, wrapping aliased
+// coordinates into the fundamental domain first (space.GridCell).
+func (r *Router) CellOf(p space.Point) (cx, cy int) {
+	return space.GridCell(p, r.w, r.h, r.step)
+}
+
+// ShardOfCell returns the shard owning grid cell (cx, cy).
+func (r *Router) ShardOfCell(cx, cy int) ID {
+	if cx < 0 || cx >= r.w || cy < 0 || cy >= r.h {
+		panic(fmt.Sprintf("shard: cell (%d,%d) outside %dx%d grid", cx, cy, r.w, r.h))
+	}
+	return ID(cx / r.band)
+}
+
+// ShardOf returns the shard owning the grid cell that position p falls
+// in.
+func (r *Router) ShardOf(p space.Point) ID {
+	cx, cy := r.CellOf(p)
+	return r.ShardOfCell(cx, cy)
+}
+
+// Boundary reports whether grid cell (cx, cy) touches a shard boundary:
+// at least one of its torus-adjacent cells belongs to a different shard.
+// Exchanges initiated from interior cells can only conflict within their
+// own shard; boundary cells are where cross-shard mailbox traffic
+// originates.
+func (r *Router) Boundary(cx, cy int) bool {
+	own := r.ShardOfCell(cx, cy)
+	left := r.ShardOfCell((cx+r.w-1)%r.w, cy)
+	right := r.ShardOfCell((cx+1)%r.w, cy)
+	return left != own || right != own
+}
+
+// AppendNeighborShards appends the distinct foreign shards adjacent to
+// grid cell (cx, cy) — the shards of its torus-neighbouring cells minus
+// its own — to dst in ascending order and returns the extended slice.
+// Interior cells append nothing. Adjacency is symmetric: cell a lists
+// cell b's shard iff b lists a's, which is what lets both sides of a
+// boundary agree on their mailbox pairs without coordination.
+func (r *Router) AppendNeighborShards(dst []ID, cx, cy int) []ID {
+	own := r.ShardOfCell(cx, cy)
+	left := r.ShardOfCell((cx+r.w-1)%r.w, cy)
+	right := r.ShardOfCell((cx+1)%r.w, cy)
+	// Vertical bands make cy irrelevant and leave at most two distinct
+	// foreign shards (left and right neighbours of the band).
+	lo, hi := left, right
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo != own {
+		dst = append(dst, lo)
+	}
+	if hi != own && hi != lo {
+		dst = append(dst, hi)
+	}
+	return dst
+}

@@ -1,0 +1,204 @@
+package shard
+
+import (
+	"testing"
+
+	"polystyrene/internal/space"
+)
+
+// tilings lists (w, h, shards) configurations whose bands tile evenly,
+// covering the paper grid widths the sweeps use.
+var tilings = []struct{ w, h, shards int }{
+	{16, 8, 2}, {16, 8, 4}, {20, 10, 2}, {20, 10, 4},
+	{40, 20, 2}, {40, 20, 4}, {40, 20, 8}, {80, 40, 4}, {80, 40, 16},
+}
+
+// TestRouterPartition is the property test of the router's core
+// contract: every grid cell maps to exactly one shard in range, shards
+// partition the grid into equal vertical bands, and two independently
+// constructed routers from the same configuration agree cell for cell —
+// the "derive the same map from config alone" property a distributed
+// deployment relies on.
+func TestRouterPartition(t *testing.T) {
+	for _, tc := range tilings {
+		r, err := NewRouter(tc.w, tc.h, 1, tc.shards)
+		if err != nil {
+			t.Fatalf("NewRouter(%d,%d,1,%d): %v", tc.w, tc.h, tc.shards, err)
+		}
+		r2, err := NewRouter(tc.w, tc.h, 1, tc.shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, tc.shards)
+		for cy := 0; cy < tc.h; cy++ {
+			for cx := 0; cx < tc.w; cx++ {
+				s := r.ShardOfCell(cx, cy)
+				if s < 0 || int(s) >= tc.shards {
+					t.Fatalf("%dx%d/%d: cell (%d,%d) -> shard %d out of range", tc.w, tc.h, tc.shards, cx, cy, s)
+				}
+				if s2 := r2.ShardOfCell(cx, cy); s2 != s {
+					t.Fatalf("independently built routers disagree at (%d,%d): %d vs %d", cx, cy, s, s2)
+				}
+				counts[s]++
+			}
+		}
+		want := tc.w * tc.h / tc.shards
+		for s, n := range counts {
+			if n != want {
+				t.Fatalf("%dx%d/%d: shard %d owns %d cells, want %d (bands must be equal)", tc.w, tc.h, tc.shards, s, n, want)
+			}
+		}
+	}
+}
+
+// TestRouterBoundarySymmetry pins that boundary cells enumerate the same
+// neighbor-shard set from both sides: for every pair of torus-adjacent
+// cells in different shards, each cell's neighbor-shard enumeration
+// contains the other's shard. This is what lets both engines of a
+// boundary agree on their mailbox pairs without coordination.
+func TestRouterBoundarySymmetry(t *testing.T) {
+	for _, tc := range tilings {
+		r, err := NewRouter(tc.w, tc.h, 1, tc.shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var nbs []ID
+		contains := func(set []ID, s ID) bool {
+			for _, v := range set {
+				if v == s {
+					return true
+				}
+			}
+			return false
+		}
+		for cy := 0; cy < tc.h; cy++ {
+			for cx := 0; cx < tc.w; cx++ {
+				own := r.ShardOfCell(cx, cy)
+				for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+					nx := (cx + d[0] + tc.w) % tc.w
+					ny := (cy + d[1] + tc.h) % tc.h
+					other := r.ShardOfCell(nx, ny)
+					if other == own {
+						continue
+					}
+					nbs = r.AppendNeighborShards(nbs[:0], cx, cy)
+					if !contains(nbs, other) {
+						t.Fatalf("%dx%d/%d: cell (%d,%d) in shard %d does not list adjacent shard %d (neighbors %v)",
+							tc.w, tc.h, tc.shards, cx, cy, own, other, nbs)
+					}
+					back := r.AppendNeighborShards(nil, nx, ny)
+					if !contains(back, own) {
+						t.Fatalf("%dx%d/%d: asymmetric boundary: (%d,%d) lists %d but (%d,%d) does not list %d",
+							tc.w, tc.h, tc.shards, cx, cy, other, nx, ny, own)
+					}
+					if !r.Boundary(cx, cy) || !r.Boundary(nx, ny) {
+						t.Fatalf("cells (%d,%d)/(%d,%d) straddle shards %d/%d but are not both boundary", cx, cy, nx, ny, own, other)
+					}
+				}
+				if len(r.AppendNeighborShards(nil, cx, cy)) == 0 && r.Boundary(cx, cy) {
+					t.Fatalf("cell (%d,%d) is boundary but enumerates no neighbor shards", cx, cy)
+				}
+			}
+		}
+	}
+}
+
+// TestRouterRefinement pins the nesting property behind cross-count
+// byte-identity: when s1 divides s2 (both tiling the grid evenly), every
+// s2-band lies inside exactly one s1-band — concretely, the coarse shard
+// of any cell is its fine shard scaled down. Interior conflict sets at
+// the finest count are therefore interior at every coarser count.
+func TestRouterRefinement(t *testing.T) {
+	const w, h = 80, 40
+	counts := []int{1, 2, 4, 8, 16}
+	routers := make([]*Router, len(counts))
+	for i, s := range counts {
+		var err error
+		if routers[i], err = NewRouter(w, h, 1, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, coarse := range counts {
+		for j, fine := range counts {
+			if fine%coarse != 0 {
+				continue
+			}
+			ratio := ID(fine / coarse)
+			for cy := 0; cy < h; cy++ {
+				for cx := 0; cx < w; cx++ {
+					got := routers[i].ShardOfCell(cx, cy)
+					want := routers[j].ShardOfCell(cx, cy) / ratio
+					if got != want {
+						t.Fatalf("cell (%d,%d): %d-shard map %d does not refine to %d-shard map %d",
+							cx, cy, fine, routers[j].ShardOfCell(cx, cy), coarse, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRouterCellInverse pins routing through positions: a point anywhere
+// inside a cell — the exact grid point, the reinjection wave's
+// half-offset, and torus-aliased coordinates — routes to that cell's
+// shard via the grid cell inverse.
+func TestRouterCellInverse(t *testing.T) {
+	r, err := NewRouter(20, 10, 2, 4) // step 2: cells are 2x2
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cy := 0; cy < 10; cy++ {
+		for cx := 0; cx < 20; cx++ {
+			want := r.ShardOfCell(cx, cy)
+			exact := space.Point{float64(cx) * 2, float64(cy) * 2}
+			offset := space.Point{float64(cx)*2 + 1, float64(cy)*2 + 1}
+			aliased := space.Point{float64(cx)*2 - 40, float64(cy)*2 + 20}
+			for _, p := range []space.Point{exact, offset, aliased} {
+				if got := r.ShardOf(p); got != want {
+					t.Fatalf("point %v routes to shard %d, want cell (%d,%d)'s shard %d", p, got, cx, cy, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRouterRejectsUnevenTiling pins the configuration error: shard
+// counts that do not divide the grid width are refused at construction,
+// never silently rounded.
+func TestRouterRejectsUnevenTiling(t *testing.T) {
+	if _, err := NewRouter(20, 10, 1, 3); err == nil {
+		t.Fatal("3 shards over width 20 should not construct")
+	}
+	if _, err := NewRouter(20, 10, 1, 0); err == nil {
+		t.Fatal("0 shards should not construct")
+	}
+	if _, err := NewRouter(0, 10, 1, 2); err == nil {
+		t.Fatal("empty grid should not construct")
+	}
+	if _, err := ForGrid(20, 10, 1, 3); err == nil {
+		t.Fatal("ForGrid must surface the router error")
+	}
+}
+
+// TestTopologyProviders pins the provider split: both topologies answer
+// the same interface, the single-engine provider has no router, and
+// ForGrid selects by shard count.
+func TestTopologyProviders(t *testing.T) {
+	single, err := ForGrid(80, 40, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Name() != "single" || single.Shards() != 1 || single.Router() != nil {
+		t.Fatalf("single provider = %q/%d/%v", single.Name(), single.Shards(), single.Router())
+	}
+	sharded, err := ForGrid(80, 40, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Name() != "sharded" || sharded.Shards() != 4 || sharded.Router() == nil {
+		t.Fatalf("sharded provider = %q/%d/%v", sharded.Name(), sharded.Shards(), sharded.Router())
+	}
+	if w, h, step := sharded.Router().Grid(); w != 80 || h != 40 || step != 1 {
+		t.Fatalf("router grid = %dx%d step %g", w, h, step)
+	}
+}

@@ -1,0 +1,50 @@
+package shard
+
+// Topology is the provider split between the two execution topologies a
+// cell can run on: one engine owning the whole torus, or several engines
+// each owning a vertical band and reconciling boundary traffic at round
+// barriers. Both providers answer the same questions behind this
+// interface, and the harness wires whichever the configuration selects
+// (-shards N on the CLIs) — the stateless-vs-coordinated provider shape,
+// so callers never branch on the topology kind.
+type Topology interface {
+	// Name identifies the provider in logs and experiment records.
+	Name() string
+	// Shards returns how many engines the cell is split across (1 for
+	// the single-engine provider).
+	Shards() int
+	// Router returns the cell's shard router, nil for the single-engine
+	// provider (there are no boundaries to route around).
+	Router() *Router
+}
+
+// SingleEngine is the default topology: the whole torus on one engine.
+type SingleEngine struct{}
+
+func (SingleEngine) Name() string    { return "single" }
+func (SingleEngine) Shards() int     { return 1 }
+func (SingleEngine) Router() *Router { return nil }
+
+// Sharded is the multi-engine topology driven by a Router.
+type Sharded struct{ router *Router }
+
+// NewSharded returns the sharded topology over r.
+func NewSharded(r *Router) Sharded { return Sharded{router: r} }
+
+func (s Sharded) Name() string    { return "sharded" }
+func (s Sharded) Shards() int     { return s.router.Shards() }
+func (s Sharded) Router() *Router { return s.router }
+
+// ForGrid selects the topology of a w x h cell with the given step:
+// SingleEngine for shards <= 1, otherwise a Sharded topology whose
+// router must tile the grid evenly.
+func ForGrid(w, h int, step float64, shards int) (Topology, error) {
+	if shards <= 1 {
+		return SingleEngine{}, nil
+	}
+	r, err := NewRouter(w, h, step, shards)
+	if err != nil {
+		return nil, err
+	}
+	return NewSharded(r), nil
+}

@@ -1,0 +1,325 @@
+package sim
+
+// Sharded multi-engine execution.
+//
+// Where the batch scheduler (parallel.go) partitions one round into
+// node-disjoint batches, the sharded scheduler partitions the *node
+// universe* into shards — regions of the torus owned by one worker each,
+// the in-process rehearsal of a multi-engine deployment. The same
+// pair-atomic commutativity argument carries it: an exchange whose
+// planned conflict set (initiator, selected peer, backup targets) stays
+// inside one shard cannot interact with any other shard's interior
+// exchanges, so the shards' interior work runs concurrently with no
+// cross-shard synchronisation at all. Exchanges that would cross a
+// boundary are not run where they were scheduled: they are deferred into
+// a per-shard-pair mailbox (internal/shard.Mailbox) and drained at the
+// pass barrier in canonical (round, home shard, step) order on the
+// engine goroutine — exactly what a distributed deployment would do by
+// shipping mailbox queues between engines at the barrier.
+//
+// Determinism is inherited wholesale from the batch scheduler's three
+// mechanisms, with one addition:
+//
+//   - Pre-split randomness: one seed per step, drawn up front in step
+//     order from the engine stream; step i always runs against
+//     Reseed(seed[i]) whether it executes in a shard wave or from the
+//     mailbox.
+//   - Deterministic planning: steps are scanned in the round's shuffled
+//     order on the engine goroutine (plan scratch is single-instance by
+//     design) and classified interior/boundary from their planned
+//     conflict sets. Within a shard, admitted steps execute sequentially
+//     in step order; concurrency exists only *between* shards, whose
+//     interior conflict sets are provably disjoint.
+//   - Waves: a step whose own node was already claimed this wave waits
+//     for the next wave and is re-planned (its selection may read its
+//     own mutated state) — the same own-node invalidation contract as
+//     the batch scheduler, so PlanInvariant layers run in a single wave.
+//   - The mailbox barrier: boundary steps replay at the barrier in an
+//     order keyed only by (home shard, step index), re-planned against
+//     post-wave state, so the trajectory is a pure function of seed and
+//     shard count.
+//
+// The wave partition and the per-step streams never consult the shard
+// count, and bands nest when shard counts divide evenly — so a round
+// whose every conflict set is interior at the finest count produces
+// byte-identical state at every shard count that tiles the grid. Rounds
+// with boundary traffic follow a documented, stable shard-count-keyed
+// trajectory instead: the mailbox set itself depends on where the
+// boundaries lie. Like the batched trajectory, the sharded trajectory is
+// a different (equally valid) deterministic run from the sequential and
+// batched ones.
+
+import (
+	"sync"
+
+	"polystyrene/internal/shard"
+	"polystyrene/internal/xrand"
+)
+
+// ShardMap assigns every node to one shard for the sharded scheduler.
+// Implementations must be derivable from configuration alone (the
+// scenario routes a node's *home* grid cell through shard.Router), so
+// the assignment is static per node and identical on every shard of a
+// distributed deployment.
+type ShardMap interface {
+	// Shards returns the shard count, >= 1, fixed for the map's lifetime.
+	Shards() int
+	// Assign is called once per round, after the round's events fire and
+	// before any layer steps: implementations extend their node→shard
+	// table to cover nodes that joined since the last round. Assignments
+	// must be frozen between Assign calls.
+	Assign(e *Engine)
+	// ShardOf returns node id's shard, in [0, Shards()).
+	ShardOf(id NodeID) int
+}
+
+// SetShardMap opts the engine into sharded execution: every Batchable
+// layer's pass runs under the sharded scheduler (see sharded.go's
+// package comment), with interior exchanges executing concurrently per
+// shard and boundary exchanges drained from the mailbox at the pass
+// barrier. m == nil restores single-engine execution. Sharding takes
+// precedence over SetExchangeParallelism for layers that support both;
+// non-Batchable layers (and layers declining via Batchable) fall back to
+// the sequential engine-stream path, unchanged.
+//
+// For a fixed seed and shard map, results are byte-identical across
+// runs, GOMAXPROCS values and process restarts; across *different* shard
+// counts they are byte-identical exactly when every conflict set is
+// interior at the finest count (see the package comment). Call it before
+// RunRounds or between rounds, never mid-round. Reset clears it: the map
+// is run wiring, like observers and the publish hook.
+func (e *Engine) SetShardMap(m ShardMap) {
+	e.shardMap = m
+	if m == nil {
+		return
+	}
+	n := m.Shards()
+	if n < 1 {
+		panic("sim: shard map must have at least one shard")
+	}
+	for len(e.wctx) < n {
+		e.wctx = append(e.wctx, &StepCtx{e: e, rng: xrand.New(0), worker: len(e.wctx), batched: true})
+	}
+}
+
+// Sharding returns the engine's shard map (nil when single-engine).
+func (e *Engine) Sharding() ShardMap { return e.shardMap }
+
+// shardState is the engine's pooled sharded-scheduling scratch, reused
+// across rounds and layers (the sharded sibling of batchState).
+type shardState struct {
+	seeds   []uint64         // per-step streams, drawn up front in step order
+	pending []pendStep       // interior steps not yet executed, with cached plans
+	queues  [][]pendStep     // per-shard admitted steps of the open wave
+	mail    shard.Mailbox    // boundary steps deferred to the pass barrier
+	drain   []shard.Deferred // canonical drain buffer
+	arena   []NodeID         // conflict-set storage for the pass (append-only)
+	planRng *xrand.Rand      // throwaway stream handed to PlanStep
+}
+
+// runSharded executes one layer's pass over the round's step order under
+// the sharded scheduler. Called with e.curLayer already set.
+func (e *Engine) runSharded(bp Batched) {
+	n := len(e.order)
+	if n == 0 {
+		return
+	}
+	m := e.shardMap
+	shards := m.Shards()
+	ss := &e.ss
+	if ss.planRng == nil {
+		ss.planRng = xrand.New(0)
+	}
+
+	// Pre-split per-step streams: the batch scheduler's discipline, so
+	// step i's randomness is fixed before any classification decision.
+	ss.seeds = ss.seeds[:0]
+	for i := 0; i < n; i++ {
+		ss.seeds = append(ss.seeds, e.rng.Uint64())
+	}
+
+	bp.BeginBatchedRound(e, shards)
+	invariant := false
+	if pi, ok := bp.(PlanInvariant); ok {
+		invariant = pi.PlanInvariant()
+	}
+
+	ss.pending, ss.arena = ss.pending[:0], ss.arena[:0]
+	for i := 0; i < n; i++ {
+		if e.alive[e.order[i]] {
+			ss.pending = append(ss.pending, pendStep{si: int32(i)})
+		}
+	}
+	for cap(ss.queues) < shards {
+		ss.queues = append(ss.queues[:cap(ss.queues)], nil)
+	}
+	ss.queues = ss.queues[:shards]
+
+	for len(ss.pending) > 0 {
+		// One wave: scan pending steps in step order, classify each from
+		// its planned conflict set, and admit interior steps to their
+		// home shard's queue. Boundary steps leave the pass immediately
+		// for the mailbox. The claimed-node set and the wave partition
+		// never consult the shard count — that is what keeps interior
+		// trajectories identical across counts.
+		touched, gen := e.bs.touched.Next(e.NumNodes())
+		for s := range ss.queues {
+			ss.queues[s] = ss.queues[s][:0]
+		}
+		keep := ss.pending[:0]
+		for k := range ss.pending {
+			pe := ss.pending[k]
+			if !pe.valid {
+				ss.planRng.Reseed(ss.seeds[pe.si])
+				off := int32(len(ss.arena))
+				ss.arena = bp.PlanStep(e, ss.planRng, e.order[pe.si], ss.arena)
+				pe.off, pe.n, pe.valid = off, int32(len(ss.arena))-off, true
+			}
+			cs := ss.arena[pe.off : pe.off+pe.n]
+			home := m.ShardOf(e.order[pe.si])
+			away := -1
+			for _, c := range cs {
+				if s := m.ShardOf(c); s != home && (away == -1 || s < away) {
+					away = s
+				}
+			}
+			if away >= 0 {
+				ss.mail.Defer(shard.Deferred{Step: int(pe.si), Home: shard.ID(home), Away: shard.ID(away)})
+				continue
+			}
+			if invariant {
+				// Pass-invariant plans never go stale: every interior
+				// step is admitted in the first wave and executes in step
+				// order within its shard.
+				ss.queues[home] = append(ss.queues[home], pe)
+				continue
+			}
+			if touched[e.order[pe.si]] == gen {
+				// The step's own node was claimed this wave; its
+				// selection may read the mutated state, so it waits and
+				// re-plans (same contract as the batch scheduler).
+				keep = append(keep, pe)
+				continue
+			}
+			for _, c := range cs {
+				touched[c] = gen
+			}
+			ss.queues[home] = append(ss.queues[home], pe)
+		}
+		ss.pending = keep
+
+		e.execWave(bp)
+		bp.FlushBatch(e)
+
+		if !invariant {
+			for k := range ss.pending {
+				if touched[e.order[ss.pending[k].si]] == gen {
+					ss.pending[k].valid = false
+				}
+			}
+		}
+	}
+
+	e.drainShardMailbox(bp)
+	bp.EndBatchedRound(e)
+}
+
+// execWave runs the open wave's per-shard queues: each shard's steps
+// execute sequentially in step order under that shard's worker context,
+// shards run concurrently on transient goroutines (the engine goroutine
+// takes the first non-empty shard). Interior conflict sets of different
+// shards are disjoint by construction, so the only shared mutable state
+// is per-context, and per-worker meter charges are flushed after the
+// join in slot order (sums commute).
+func (e *Engine) execWave(bp Batched) {
+	ss := &e.ss
+	first := -1
+	extra := 0
+	for s := range ss.queues {
+		if len(ss.queues[s]) == 0 {
+			continue
+		}
+		if first == -1 {
+			first = s
+		} else {
+			extra++
+		}
+	}
+	if first == -1 {
+		return
+	}
+	if extra > 0 {
+		var wg sync.WaitGroup
+		wg.Add(extra)
+		for s := first + 1; s < len(ss.queues); s++ {
+			if len(ss.queues[s]) == 0 {
+				continue
+			}
+			go func(s int) {
+				defer wg.Done()
+				e.runShardQueue(bp, s)
+			}(s)
+		}
+		e.runShardQueue(bp, first)
+		wg.Wait()
+	} else {
+		e.runShardQueue(bp, first)
+	}
+	for _, ctx := range e.wctx {
+		if ctx.cost != 0 {
+			e.meter.charge(e.curLayer, e.round, ctx.cost)
+			ctx.cost = 0
+		}
+	}
+}
+
+// runShardQueue executes shard s's admitted steps in step order under
+// its dedicated worker context.
+func (e *Engine) runShardQueue(bp Batched, s int) {
+	ss := &e.ss
+	ctx := e.wctx[s]
+	for _, pe := range ss.queues[s] {
+		ctx.rng.Reseed(ss.seeds[pe.si])
+		ctx.planned = ss.arena[pe.off : pe.off+pe.n]
+		ctx.step = int(pe.si)
+		bp.StepW(ctx, e.order[pe.si])
+	}
+	ctx.planned = nil
+}
+
+// drainShardMailbox replays the round's deferred boundary exchanges at
+// the pass barrier, sequentially on the engine goroutine, in the
+// mailbox's canonical (home shard, step) order. Each exchange is
+// re-planned immediately before executing — interior waves may have
+// moved its initiator's state, and re-planning also refreshes the
+// layer's per-node plan caches and the conflict set the Touch assertion
+// checks — then replayed against its original pre-split stream.
+func (e *Engine) drainShardMailbox(bp Batched) {
+	ss := &e.ss
+	if ss.mail.Len() == 0 {
+		return
+	}
+	ss.drain = ss.mail.Drain(ss.drain[:0])
+	ctx := e.wctx[0]
+	for _, d := range ss.drain {
+		id := e.order[d.Step]
+		if !e.alive[id] {
+			continue
+		}
+		ss.planRng.Reseed(ss.seeds[d.Step])
+		off := len(ss.arena)
+		ss.arena = bp.PlanStep(e, ss.planRng, id, ss.arena)
+		ctx.rng.Reseed(ss.seeds[d.Step])
+		ctx.planned = ss.arena[off:]
+		ctx.step = d.Step
+		bp.StepW(ctx, id)
+	}
+	ctx.planned = nil
+	for _, c := range e.wctx {
+		if c.cost != 0 {
+			e.meter.charge(e.curLayer, e.round, c.cost)
+			c.cost = 0
+		}
+	}
+	bp.FlushBatch(e)
+}

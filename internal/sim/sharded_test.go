@@ -1,0 +1,368 @@
+package sim
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"polystyrene/internal/xrand"
+)
+
+// bandMap is a static sim.ShardMap for scheduler tests: node ids are cut
+// into bands of bandSize consecutive ids, dealt round-robin over shards.
+// It is a pure function of the id, so every shard count refines evenly
+// when partners stay within one band.
+type bandMap struct {
+	bandSize int
+	shards   int
+}
+
+func (m bandMap) Shards() int      { return m.shards }
+func (m bandMap) Assign(e *Engine) {}
+func (m bandMap) ShardOf(id NodeID) int {
+	return (int(id) / m.bandSize) % m.shards
+}
+
+// bandProto is a scripted batched protocol with *deterministic* partner
+// selection keyed to the band layout: node id partners id^1 (its
+// neighbour inside the band), except every crossEvery-th node, which
+// partners one full band over — guaranteed cross-shard at every shard
+// count >= 2. Exchanges mix both nodes' states with the step stream, and
+// chained overlapping exchanges make execution order observable, so
+// fingerprints pin the scheduler's ordering exactly.
+type bandProto struct {
+	name       string
+	bandSize   int
+	crossEvery int // 0 = interior-only
+	vals       []uint64
+
+	seq         atomic.Int64 // global execution sequence
+	mu          sync.Mutex
+	execCount   map[NodeID]int
+	maxInterior atomic.Int64     // highest interior execution seq this round
+	boundary    [][2]int         // (home shard via map under test, step index) of drained steps, in exec order
+	homeOf      func(NodeID) int // set by tests that check drain order
+}
+
+var _ Batched = (*bandProto)(nil)
+
+func newBandProto(bandSize, crossEvery int) *bandProto {
+	return &bandProto{
+		name: "band", bandSize: bandSize, crossEvery: crossEvery,
+		execCount: make(map[NodeID]int),
+	}
+}
+
+func (p *bandProto) Name() string { return p.name }
+
+func (p *bandProto) InitNode(e *Engine, id NodeID) {
+	for len(p.vals) <= int(id) {
+		p.vals = append(p.vals, uint64(len(p.vals))*0x9e3779b97f4a7c15+1)
+	}
+}
+
+// partner is the deterministic selection shared by plan and step: it
+// reads only the initiator's id and pass-frozen liveness, the contract
+// that keeps cached plans valid. Cross traffic comes in two ranges: one
+// band over (foreign at every shard count >= 2) and two bands over —
+// foreign at 4 shards but *interior* at 2, which is exactly the
+// classification difference that keys the boundary trajectory to the
+// shard count.
+func (p *bandProto) partner(e *Engine, id NodeID) NodeID {
+	var q NodeID
+	switch {
+	case p.crossEvery > 0 && int(id)%p.crossEvery == 0:
+		q = id + NodeID(p.bandSize)
+	case p.crossEvery > 0 && int(id)%p.crossEvery == 1:
+		q = id + NodeID(2*p.bandSize)
+	default:
+		q = id ^ 1
+	}
+	if int(q) >= e.NumNodes() || !e.Alive(q) {
+		return None
+	}
+	return q
+}
+
+func (p *bandProto) crossShard(e *Engine, id NodeID) bool {
+	q := p.partner(e, id)
+	return q != None && p.homeOf != nil && p.homeOf(q) != p.homeOf(id)
+}
+
+func (p *bandProto) Step(e *Engine, id NodeID) { p.StepW(e.SeqCtx(), id) }
+
+func (p *bandProto) StepW(ctx *StepCtx, id NodeID) {
+	e := ctx.Engine()
+	seq := p.seq.Add(1)
+	p.mu.Lock()
+	p.execCount[id]++
+	p.mu.Unlock()
+	q := p.partner(e, id)
+	if q == None {
+		p.vals[id] ^= ctx.Rand().Uint64()
+		return
+	}
+	ctx.Touch(q)
+	if ctx.Batched() && p.homeOf != nil {
+		if p.homeOf(q) != p.homeOf(id) {
+			// A cross-shard exchange: it must run from the mailbox, i.e.
+			// strictly after every interior execution of the pass.
+			p.mu.Lock()
+			p.boundary = append(p.boundary, [2]int{p.homeOf(id), ctx.StepIndex()})
+			p.mu.Unlock()
+		} else {
+			for {
+				old := p.maxInterior.Load()
+				if seq <= old || p.maxInterior.CompareAndSwap(old, seq) {
+					break
+				}
+			}
+		}
+	}
+	v := ctx.Rand().Uint64()
+	a, b := p.vals[id], p.vals[q]
+	p.vals[id] = a*1099511628211 ^ b ^ v
+	p.vals[q] = b*1099511628211 ^ a ^ (v>>17 | v<<47)
+	ctx.Charge(int(id%5) + 1)
+}
+
+func (p *bandProto) Batchable() bool                          { return true }
+func (p *bandProto) BeginBatchedRound(e *Engine, workers int) {}
+
+func (p *bandProto) PlanStep(e *Engine, rng *xrand.Rand, id NodeID, dst []NodeID) []NodeID {
+	dst = append(dst, id)
+	if q := p.partner(e, id); q != None {
+		dst = append(dst, q)
+	}
+	return dst
+}
+
+func (p *bandProto) FlushBatch(e *Engine)      {}
+func (p *bandProto) EndBatchedRound(e *Engine) {}
+
+func (p *bandProto) fingerprint(e *Engine, rounds int) uint64 {
+	t := newTrace()
+	for _, v := range p.vals {
+		t.add(v)
+	}
+	for r := 0; r < rounds; r++ {
+		t.add(uint64(e.Meter().RoundCost(p.name, r)))
+	}
+	return t.h
+}
+
+// runBandSim drives a churny scripted run under the sharded scheduler
+// and returns the protocol and engine. crossEvery = 0 keeps every
+// conflict set inside its band (interior at every tested shard count).
+func runBandSim(t *testing.T, shards, crossEvery int) (*bandProto, *Engine) {
+	t.Helper()
+	const bandSize = 16
+	proto := newBandProto(bandSize, crossEvery)
+	e := New(0xABCD1234, proto)
+	m := bandMap{bandSize: bandSize, shards: shards}
+	proto.homeOf = func(id NodeID) int { return m.ShardOf(id) }
+	e.SetShardMap(m)
+	e.AddNodes(256)
+	if err := e.ScheduleAt(3, func(e *Engine) {
+		for id := NodeID(64); id < 120; id++ {
+			e.Kill(id)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ScheduleAt(6, func(e *Engine) { e.AddNodes(64) }); err != nil {
+		t.Fatal(err)
+	}
+	e.Observe(func(e *Engine, round int) {
+		proto.mu.Lock()
+		defer proto.mu.Unlock()
+		if len(proto.execCount) != e.NumLive() {
+			t.Errorf("round %d: %d nodes stepped, %d live", round, len(proto.execCount), e.NumLive())
+		}
+		for id, n := range proto.execCount {
+			if n != 1 {
+				t.Errorf("round %d: node %d stepped %d times", round, id, n)
+			}
+		}
+		clear(proto.execCount)
+	})
+	e.RunRounds(10)
+	return proto, e
+}
+
+// TestShardedInteriorIdentity pins the keystone cross-count property:
+// when every conflict set stays inside its shard at the finest count
+// (bands nest, so it then stays inside at every coarser count), the
+// trajectory — node states and meter ledgers — is byte-identical at 1,
+// 2 and 4 shards, through churn. Run under -race in CI's determinism
+// matrix, this is also the proof that concurrent shards share no
+// mutable state.
+func TestShardedInteriorIdentity(t *testing.T) {
+	ref, refEngine := runBandSim(t, 1, 0)
+	want := ref.fingerprint(refEngine, 10)
+	for _, shards := range []int{2, 4} {
+		proto, e := runBandSim(t, shards, 0)
+		if got := proto.fingerprint(e, 10); got != want {
+			t.Fatalf("interior-only trajectory diverged at %d shards: %x vs %x", shards, got, want)
+		}
+		if proto.seq.Load() != ref.seq.Load() {
+			t.Fatalf("step count diverged at %d shards", shards)
+		}
+	}
+}
+
+// TestShardedBoundaryTrajectory pins the boundary semantics: with
+// cross-shard traffic the run is still deterministic per shard count
+// (two identical runs agree exactly), but the trajectory is keyed by
+// the shard count — the mailbox set and its canonical drain order
+// depend on where the boundaries lie, which is why the shard count is
+// part of the snapshot digest.
+func TestShardedBoundaryTrajectory(t *testing.T) {
+	fp := func(shards int) uint64 {
+		proto, e := runBandSim(t, shards, 5)
+		return proto.fingerprint(e, 10)
+	}
+	if fp(2) != fp(2) {
+		t.Fatal("same-count boundary runs diverged; sharded scheduling is nondeterministic")
+	}
+	if fp(4) != fp(4) {
+		t.Fatal("same-count boundary runs diverged at 4 shards")
+	}
+	if fp(2) == fp(4) {
+		t.Fatal("2- and 4-shard boundary trajectories coincide; the shard-count-keyed contract (and the digest guard) would be vacuous")
+	}
+}
+
+// TestShardedMailboxBarrier pins the drain discipline: every cross-shard
+// exchange executes strictly after every interior execution of the pass
+// (waves first, mailbox at the barrier), and drained exchanges replay in
+// the canonical ascending (home shard, step index) order.
+func TestShardedMailboxBarrier(t *testing.T) {
+	proto := newBandProto(16, 4)
+	e := New(0x5eed, proto)
+	m := bandMap{bandSize: 16, shards: 4}
+	proto.homeOf = func(id NodeID) int { return m.ShardOf(id) }
+	e.SetShardMap(m)
+	e.AddNodes(192)
+	for round := 0; round < 5; round++ {
+		proto.boundary = proto.boundary[:0]
+		proto.maxInterior.Store(0)
+		e.RunRounds(1)
+		if len(proto.boundary) == 0 {
+			t.Fatalf("round %d drained no cross-shard exchanges; the scenario is not exercising the mailbox", round)
+		}
+		for i := 1; i < len(proto.boundary); i++ {
+			prev, cur := proto.boundary[i-1], proto.boundary[i]
+			if prev[0] > cur[0] || (prev[0] == cur[0] && prev[1] >= cur[1]) {
+				t.Fatalf("round %d: drain order violated canonical (home, step): %v before %v", round, prev, cur)
+			}
+		}
+	}
+	if got := proto.maxInterior.Load(); got == 0 {
+		t.Fatal("no interior exchanges recorded")
+	}
+}
+
+// TestShardedDrainAfterInterior pins the barrier ordering with the
+// sequence counter: the lowest boundary execution sequence exceeds the
+// highest interior one, every round.
+func TestShardedDrainAfterInterior(t *testing.T) {
+	proto := newBandProto(16, 4)
+	e := New(0x5eed, proto)
+	m := bandMap{bandSize: 16, shards: 2}
+	proto.homeOf = func(id NodeID) int { return m.ShardOf(id) }
+	e.SetShardMap(m)
+	e.AddNodes(160)
+	for round := 0; round < 4; round++ {
+		proto.boundary = proto.boundary[:0]
+		proto.maxInterior.Store(0)
+		e.RunRounds(1)
+		if len(proto.boundary) == 0 {
+			t.Fatalf("round %d: no boundary traffic", round)
+		}
+		// Drained exchanges run last on the engine goroutine, so the
+		// first boundary execution's sequence number must exceed every
+		// interior one of the round.
+		firstBoundary := proto.seq.Load() - int64(len(proto.boundary)) + 1
+		if firstBoundary <= proto.maxInterior.Load() {
+			t.Fatalf("round %d: boundary exchange (seq %d) ran before the last interior one (seq %d)", round, firstBoundary, proto.maxInterior.Load())
+		}
+	}
+}
+
+// divergeProto plans {id} but touches a partner anyway — the bug class
+// the Touch assertion exists for.
+type divergeProto struct{ bandProto }
+
+func (p *divergeProto) PlanStep(e *Engine, rng *xrand.Rand, id NodeID, dst []NodeID) []NodeID {
+	return append(dst, id)
+}
+
+// TestShardedTouchCatchesPlanDivergence pins that a plan/execution
+// divergence under the sharded scheduler panics deterministically via
+// StepCtx.Touch instead of racing across shards.
+func TestShardedTouchCatchesPlanDivergence(t *testing.T) {
+	proto := &divergeProto{bandProto: *newBandProto(16, 0)}
+	proto.execCount = make(map[NodeID]int)
+	e := New(7, proto)
+	e.SetShardMap(bandMap{bandSize: 16, shards: 1})
+	e.AddNodes(32)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("plan divergence did not panic")
+		}
+		if !strings.Contains(r.(string), "outside its planned conflict set") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	e.RunRounds(1)
+}
+
+// TestShardedResetClearsMap pins that Reset treats the shard map as run
+// wiring: a reset engine is single-engine again until SetShardMap is
+// re-applied (the scenario re-wires it per cell, exactly like observers
+// and the publish hook).
+func TestShardedResetClearsMap(t *testing.T) {
+	proto := newBandProto(16, 0)
+	e := New(1, proto)
+	e.SetShardMap(bandMap{bandSize: 16, shards: 2})
+	if e.Sharding() == nil {
+		t.Fatal("shard map not installed")
+	}
+	proto2 := newBandProto(16, 0)
+	e.Reset(1, proto2)
+	if e.Sharding() != nil {
+		t.Fatal("Reset retained the shard map")
+	}
+	e.AddNodes(32)
+	e.RunRounds(2) // sequential path; would panic if sharded scratch were half-wired
+}
+
+// seqOnly is a minimal non-Batched layer, to pin the sequential fallback
+// inside a sharded round.
+type seqOnly struct {
+	count map[NodeID]int
+}
+
+func (s *seqOnly) Name() string                  { return "seqonly" }
+func (s *seqOnly) InitNode(e *Engine, id NodeID) {}
+func (s *seqOnly) Step(e *Engine, id NodeID)     { s.count[id]++ }
+
+// TestShardedNonBatchableFallback pins graceful degradation: a layer
+// that does not implement Batched still steps every live node exactly
+// once per round, sequentially, inside an otherwise sharded engine.
+func TestShardedNonBatchableFallback(t *testing.T) {
+	plain := &seqOnly{count: make(map[NodeID]int)}
+	batched := newBandProto(16, 0)
+	e := New(3, batched, plain)
+	e.SetShardMap(bandMap{bandSize: 16, shards: 4})
+	e.AddNodes(64)
+	e.RunRounds(3)
+	for id := NodeID(0); int(id) < 64; id++ {
+		if plain.count[id] != 3 {
+			t.Fatalf("node %d stepped %d times in the sequential fallback, want 3", id, plain.count[id])
+		}
+	}
+}
